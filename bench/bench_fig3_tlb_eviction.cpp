@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 3: TLB miss rate vs eviction-set size (pages), on the three
+ * machines. Paper: sets of 12 or more achieve consistently high
+ * eviction rates; below 12 the success drops significantly.
+ */
+
+#include <cstdio>
+
+#include "attack/spray.hh"
+#include "attack/tlb_eviction.hh"
+#include "common/table.hh"
+#include "cpu/machine.hh"
+#include "kernel/kernel_module.hh"
+
+int
+main()
+{
+    using namespace pth;
+
+    std::printf("== Figure 3: TLB miss rate (%%) vs eviction-set size ==\n");
+    Table table({"Size", "Lenovo T420", "Lenovo X230", "Dell E6420"});
+
+    std::vector<std::vector<double>> rates;
+    for (const MachineConfig &config : MachineConfig::paperMachines()) {
+        Machine machine(config);
+        AttackConfig attack;
+        attack.superpages = true;
+        attack.sprayBytes = 64ull << 20;
+        Process &proc = machine.kernel().createProcess(1000);
+        machine.cpu().setProcess(proc);
+        SprayManager sprayer(machine, attack);
+        sprayer.spray();
+        TlbEvictionTool tlb(machine, attack);
+        tlb.prepare();
+        KernelModule module(machine);
+
+        std::vector<double> machineRates;
+        // Average over several targets to smooth per-set noise.
+        for (unsigned size = 11; size <= 16; ++size) {
+            double total = 0;
+            const unsigned targets = 5;
+            for (unsigned t = 0; t < targets; ++t) {
+                VirtAddr target = sprayer.randomTarget(100 + t);
+                auto set = tlb.evictionSetFor(target, size);
+                total += tlb.profileMissRate(target, set, 200, module);
+            }
+            machineRates.push_back(100.0 * total / targets);
+        }
+        rates.push_back(machineRates);
+    }
+
+    for (unsigned i = 0; i < 6; ++i) {
+        table.addRow({strfmt("%u", 11 + i), strfmt("%.1f", rates[0][i]),
+                      strfmt("%.1f", rates[1][i]),
+                      strfmt("%.1f", rates[2][i])});
+    }
+    table.print();
+    std::printf("\npaper: miss rate drops below size 12; 12+ gives"
+                " consistently high eviction on all machines\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 4: LLC miss rate vs eviction-set size (memory lines), on the
+ * three machines. Paper: above the associativity the miss rate is
+ * consistently >94-95 %; it drops when the set size reaches the
+ * associativity and falls sharply below it.
+ */
+
+#include <cstdio>
+
+#include "attack/eviction_pool.hh"
+#include "common/table.hh"
+#include "cpu/machine.hh"
+
+int
+main()
+{
+    using namespace pth;
+
+    std::printf(
+        "== Figure 4: LLC miss rate (%%) vs eviction-set size ==\n");
+    Table table({"Size", "Lenovo T420 (12-way)", "Lenovo X230 (12-way)",
+                 "Dell E6420 (16-way)"});
+
+    std::vector<std::vector<double>> rates;
+    for (const MachineConfig &config : MachineConfig::paperMachines()) {
+        Machine machine(config);
+        AttackConfig attack;
+        attack.superpages = true;
+        Process &proc = machine.kernel().createProcess(1000);
+        machine.cpu().setProcess(proc);
+        LlcEvictionPool pool(machine, attack);
+        pool.allocateBuffer();
+        pool.buildSuperpage(/*sampleClasses=*/4);
+
+        std::vector<double> machineRates;
+        for (unsigned size = 11; size <= 32; ++size) {
+            double total = 0;
+            const unsigned targets = 4;
+            for (unsigned t = 0; t < targets; ++t) {
+                const EvictionSet &set = pool.sets()[t];
+                VirtAddr target = set.lines.back();
+                total += pool.profileEvictionRate(target, size, 60);
+            }
+            machineRates.push_back(100.0 * total / targets);
+        }
+        rates.push_back(machineRates);
+    }
+
+    for (unsigned i = 0; i < rates[0].size(); ++i) {
+        table.addRow({strfmt("%u", 11 + i), strfmt("%.1f", rates[0][i]),
+                      strfmt("%.1f", rates[1][i]),
+                      strfmt("%.1f", rates[2][i])});
+    }
+    table.print();
+    std::printf("\npaper: rate >94%% once the set exceeds the"
+                " associativity (12/12/16); drops at/below it."
+                " chosen working sizes: 13 / 13 / 17\n");
+    return 0;
+}

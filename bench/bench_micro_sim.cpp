@@ -1,0 +1,110 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * host-side throughput of DRAM accesses, cache-hierarchy accesses,
+ * address translation and full hammer iterations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "attack/pthammer.hh"
+#include "cpu/machine.hh"
+
+namespace
+{
+
+using namespace pth;
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    DramGeometry geometry;
+    geometry.sizeBytes = 256ull << 20;
+    PhysicalMemory mem(geometry.sizeBytes);
+    DisturbanceConfig dc;
+    dc.refreshWindowCycles = 1'000'000;
+    Dram dram(geometry, DramTiming{}, dc, mem);
+    Cycles now = 0;
+    PhysAddr pa = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dram.access(pa, now));
+        pa = (pa + 8192) & (geometry.sizeBytes - 1);
+        now += 100;
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_CacheHierarchyHit(benchmark::State &state)
+{
+    DramGeometry geometry;
+    geometry.sizeBytes = 256ull << 20;
+    PhysicalMemory mem(geometry.sizeBytes);
+    DisturbanceConfig dc;
+    dc.refreshWindowCycles = 1'000'000;
+    Dram dram(geometry, DramTiming{}, dc, mem);
+    CacheHierarchyConfig cc;
+    CacheHierarchy caches(cc, dram);
+    caches.access(0x1000, 0);
+    Cycles now = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(caches.access(0x1000, ++now));
+}
+BENCHMARK(BM_CacheHierarchyHit);
+
+void
+BM_TranslateTlbHit(benchmark::State &state)
+{
+    Machine machine(MachineConfig::testSmall());
+    Process &proc = machine.kernel().createProcess(1000);
+    machine.cpu().setProcess(proc);
+    machine.kernel().mmapAnon(proc, 0x10000000, kPageBytes);
+    machine.mmu().translate(0x10000000, 0);
+    Cycles now = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            machine.mmu().translate(0x10000000, ++now));
+}
+BENCHMARK(BM_TranslateTlbHit);
+
+void
+BM_TranslateWalk(benchmark::State &state)
+{
+    Machine machine(MachineConfig::testSmall());
+    Process &proc = machine.kernel().createProcess(1000);
+    machine.cpu().setProcess(proc);
+    machine.kernel().mmapAnon(proc, 0x10000000, kPageBytes);
+    Cycles now = 0;
+    for (auto _ : state) {
+        machine.mmu().invalidatePage(0x10000000);
+        benchmark::DoNotOptimize(
+            machine.mmu().translate(0x10000000, ++now));
+    }
+}
+BENCHMARK(BM_TranslateWalk);
+
+void
+BM_HammerIteration(benchmark::State &state)
+{
+    Machine machine(MachineConfig::testSmall());
+    AttackConfig attack;
+    attack.superpages = true;
+    attack.sprayBytes = 16ull << 20;
+    attack.superpageSampleClasses = 1;
+    PThammerAttack pthammer(machine, attack);
+    pthammer.prepare();
+    auto pair = pthammer.pairs().next();
+    if (!pair) {
+        state.SkipWithError("no hammer pair");
+        return;
+    }
+    unsigned dramFetches = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            pthammer.hammer().iteration(*pair, dramFetches));
+}
+BENCHMARK(BM_HammerIteration);
+
+} // namespace
+
+BENCHMARK_MAIN();

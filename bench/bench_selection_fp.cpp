@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Section IV-C: false-positive rate of Algorithm 2's LLC eviction-set
+ * selection, measured against the evaluation-only kernel module's
+ * ground truth (the paper reports no more than 6 %, and ~1 us TLB /
+ * ~290 ms LLC selection costs).
+ */
+
+#include <cstdio>
+
+#include "attack/eviction_selection.hh"
+#include "attack/spray.hh"
+#include "attack/tlb_eviction.hh"
+#include "common/table.hh"
+#include "cpu/machine.hh"
+#include "kernel/kernel_module.hh"
+
+int
+main()
+{
+    using namespace pth;
+
+    std::printf("== Section IV-C: eviction-set selection accuracy ==\n");
+    Table table({"Machine", "Page size", "Targets", "False positives",
+                 "FP rate", "Mean selection time"});
+
+    for (const MachineConfig &config : MachineConfig::paperMachines()) {
+        for (bool superpages : {true, false}) {
+            Machine machine(config);
+            AttackConfig attack;
+            attack.superpages = superpages;
+            attack.sprayBytes = 256ull << 20;
+            attack.regularSampleClasses = 1;
+            attack.regularSampleGroups = 2;
+            Process &proc = machine.kernel().createProcess(1000);
+            machine.cpu().setProcess(proc);
+            SprayManager sprayer(machine, attack);
+            sprayer.spray();
+            TlbEvictionTool tlb(machine, attack);
+            tlb.prepare();
+            LlcEvictionPool pool(machine, attack);
+            pool.allocateBuffer();
+            if (superpages)
+                pool.buildSuperpage(2);
+            else
+                pool.buildRegularSampled(1, 1);
+            EvictionSetSelector selector(machine, attack, pool, tlb);
+            KernelModule module(machine);
+
+            const unsigned targets = 24;
+            unsigned falsePositives = 0;
+            double totalMs = 0;
+            for (unsigned i = 0; i < targets; ++i) {
+                VirtAddr target = sprayer.randomTarget(3000 + i);
+                SetSelection sel = selector.select(target);
+                totalMs += machine.seconds(sel.elapsed) * 1e3;
+                auto truth = module.l1pteLlcSet(proc, target);
+                if (!sel.set || !truth)
+                    continue;
+                auto tr = proc.pageTables()->translate(
+                    sel.set->lines.front());
+                PhysAddr pa = (tr->frame << kPageShift) |
+                              (sel.set->lines.front() & (kPageBytes - 1));
+                if (machine.caches().llc().globalSet(pa) != *truth)
+                    ++falsePositives;
+            }
+            table.addRow({config.name,
+                          superpages ? "superpage" : "regular",
+                          strfmt("%u", targets),
+                          strfmt("%u", falsePositives),
+                          strfmt("%.1f%%",
+                                 100.0 * falsePositives / targets),
+                          strfmt("%.0f ms", totalMs / targets)});
+        }
+    }
+    table.print();
+    std::printf("\npaper: <=6%% false positives in every setting;"
+                " ~1 us TLB selection, ~290 ms LLC selection\n");
+    return 0;
+}

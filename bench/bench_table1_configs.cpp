@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table I: system configurations of the three evaluated machines.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "cpu/machine_config.hh"
+
+int
+main()
+{
+    using namespace pth;
+
+    std::printf("== Table I: System Configurations ==\n");
+    Table table({"Machine", "Architecture", "CPU", "TLB Assoc.",
+                 "LLC Assoc. & Size", "DRAM"});
+    for (const MachineConfig &m : MachineConfig::paperMachines()) {
+        table.addRow(
+            {m.name, m.architecture, m.cpuModel,
+             strfmt("%u-way L1d, %u-way L2s", m.tlb.l1d.ways,
+                    m.tlb.l2s.ways),
+             strfmt("%u-way, %llu MiB", m.caches.llc.ways,
+                    static_cast<unsigned long long>(
+                        m.caches.llc.capacity() >> 20)),
+             m.dramModel});
+    }
+    table.print();
+    std::printf("\npaper: T420/X230 4-way TLBs + 12-way 3 MiB LLC;"
+                " E6420 16-way 4 MiB LLC; all 8 GiB Samsung DDR3\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Attacker-side configuration: address-space layout, spray size,
+ * profiling repeat counts and the hammer/check budgets.
+ */
+
+#ifndef PTH_ATTACK_ATTACK_CONFIG_HH
+#define PTH_ATTACK_ATTACK_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pth
+{
+
+/** PThammer configuration. */
+struct AttackConfig
+{
+    /** Use 2 MiB superpages for the LLC eviction buffer (Section IV:
+     * makes pool preparation dramatically faster). */
+    bool superpages = false;
+
+    /** Bytes of Level-1 page tables to spray (paper: 2 GiB of 8 GiB). */
+    std::uint64_t sprayBytes = 2ull * 1024 * 1024 * 1024;
+
+    /** Distinct user frames the spray maps over and over. */
+    unsigned userSharedFrames = 4;
+
+    /** Algorithm 1 profiling repetitions. */
+    unsigned tlbProfileCount = 64;
+
+    /** TLB pool over-provisioning factor (paper: eight times). */
+    unsigned tlbPoolFactor = 8;
+
+    /** Algorithm 2 profiling repetitions (paper-scale accounting). */
+    unsigned llcSelectCount = 32000;
+
+    /** Algorithm 2 repetitions actually simulated in detail; the
+     * remaining (llcSelectCount - this) are charged analytically. */
+    unsigned llcSelectDetailedCount = 64;
+
+    /** Superpage pool build: classes run in detail (0 = all 2048). */
+    unsigned superpageSampleClasses = 96;
+
+    /** Regular pool build: classes / groups-per-class run in detail. */
+    unsigned regularSampleClasses = 1;
+    unsigned regularSampleGroups = 4;
+
+    /** 'evicts' test repetitions during pool construction. */
+    unsigned llcBuildRepeats = 6;
+
+    /** Extra lines beyond LLC associativity in a working set
+     * (paper: one larger). */
+    unsigned llcSetSizeMargin = 1;
+
+    /** Extra pages beyond the discovered minimal TLB set size. */
+    unsigned tlbSetSizeMargin = 0;
+
+    /** Double-sided hammer iterations per attempt (paper-scale). */
+    std::uint64_t hammerIterations = 1'000'000;
+
+    /** Iterations simulated in full micro-architectural detail before
+     * the analytic extrapolation takes over. */
+    unsigned hammerWarmupIterations = 48;
+
+    /** Bank-conflict verification probes per candidate pair. */
+    unsigned bankProbeCount = 24;
+
+    /** Give up after this many hammering attempts. */
+    unsigned maxAttempts = 3000;
+
+    /** Simulated-time budget for the hammering phase (seconds). */
+    double hammerBudgetSeconds = 7200;
+
+    /** Measurement noise: probability / magnitude of a latency spike
+     * (interrupts etc.), the source of Algorithm 2's false positives. */
+    double timingNoiseProbability = 0.015;
+    Cycles timingNoiseCycles = 400;
+
+    /** Per-sprayed-page cycles charged for a bit-flip content scan. */
+    Cycles checkCyclesPerPage = 42;
+
+    /** CATT counter-measure: fraction of the kernel zone the attacker
+     * exhausts before spraying so L1PTs land near the user boundary
+     * (Cheng et al.'s technique, Section IV-G1). */
+    double exhaustKernelFraction = 0.0;
+
+    /** Processes to spawn for the CTA cred-spray (Section IV-G3). */
+    unsigned credSprayProcesses = 0;
+
+    std::uint64_t seed = 0xa77acc;
+
+    /** Attacker virtual address-space layout. */
+    VirtAddr userDataBase = 0x7f00'0000'0000ull;
+    VirtAddr sprayBase = 0x0100'0000'0000ull;
+    VirtAddr tlbPoolBase = 0x0200'0000'0000ull;
+    VirtAddr llcBufferBase = 0x0300'0000'0000ull;
+    VirtAddr scratchBase = 0x0400'0000'0000ull;
+};
+
+} // namespace pth
+
+#endif // PTH_ATTACK_ATTACK_CONFIG_HH

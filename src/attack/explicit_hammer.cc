@@ -1,0 +1,190 @@
+#include "attack/explicit_hammer.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "cpu/machine.hh"
+
+namespace pth
+{
+
+ExplicitHammer::ExplicitHammer(Machine &machine, const AttackConfig &config)
+    : m(machine), cfg(config)
+{
+}
+
+void
+ExplicitHammer::setup(std::uint64_t bytes)
+{
+    bufferBase = cfg.scratchBase;
+    bufferBytes = bytes;
+    m.kernel().mmapAnon(m.cpu().process(), bufferBase, bytes);
+}
+
+std::optional<std::pair<VirtAddr, VirtAddr>>
+ExplicitHammer::pickPair(std::uint64_t salt) const
+{
+    // The published tool knows physical addresses (pagemap); emulate
+    // by picking a random buffer page and the page two row-indices
+    // later, then checking they really share a bank.
+    Rng rng(cfg.seed ^ mix64(salt));
+    std::uint64_t stride = 2 * m.config().dramGeometry.rowIndexStride();
+    if (bufferBytes <= stride)
+        return std::nullopt;
+    auto pt = m.cpu().process().pageTables();
+
+    for (unsigned attempt = 0; attempt < 64; ++attempt) {
+        VirtAddr a1 = bufferBase +
+                      (rng.below((bufferBytes - stride) / kPageBytes)
+                       << kPageShift);
+        VirtAddr a2 = a1 + stride;
+        auto t1 = pt->translate(a1);
+        auto t2 = pt->translate(a2);
+        if (!t1 || !t2)
+            continue;
+        DramLocation l1 =
+            m.dram().mapping().decompose(t1->frame << kPageShift);
+        DramLocation l2 =
+            m.dram().mapping().decompose(t2->frame << kPageShift);
+        if (l1.bank == l2.bank && (l1.row + 2 == l2.row))
+            return std::make_pair(a1, a2);
+    }
+    return std::nullopt;
+}
+
+Cycles
+ExplicitHammer::iteration(VirtAddr a1, VirtAddr a2, unsigned nopPadding)
+{
+    Cycles start = m.clock().now();
+    m.cpu().clflush(a1);
+    m.cpu().clflush(a2);
+    m.cpu().accessBatch({a1, a2});
+    if (nopPadding)
+        m.cpu().nops(nopPadding);
+    return m.clock().now() - start;
+}
+
+double
+ExplicitHammer::measureIterationCycles(unsigned nopPadding)
+{
+    auto pair = pickPair(0x715);
+    pth_assert(pair.has_value(), "no hammerable pair in buffer");
+    Cycles total = 0;
+    const unsigned reps = 32;
+    for (unsigned i = 0; i < reps; ++i)
+        total += iteration(pair->first, pair->second, nopPadding);
+    return static_cast<double>(total) / reps;
+}
+
+ExplicitHammerResult
+ExplicitHammer::runSingleSided(unsigned nopPadding, double budgetSeconds)
+{
+    pth_assert(bufferBytes > 0, "setup() has not run");
+    ExplicitHammerResult result;
+    Cycles budget = m.config().cycles(budgetSeconds);
+    Cycles start = m.clock().now();
+    Cycles window = m.config().disturbance.refreshWindowCycles;
+    const std::uint64_t windowsPerPair = 8;
+    std::uint64_t salt = 0x55;
+
+    while (m.clock().now() - start < budget) {
+        auto pair = pickPair(salt++);
+        if (!pair)
+            continue;
+        ++result.pairsHammered;
+
+        // Hammer only the first aggressor; alternate with a far-away
+        // row in the same bank to defeat the row buffer.
+        VirtAddr flushPartner = pair->second + 8 *
+                                m.config().dramGeometry.rowIndexStride();
+        Cycles warmupTotal = 0;
+        const unsigned warmup = 16;
+        for (unsigned i = 0; i < warmup; ++i)
+            warmupTotal += iteration(pair->first, flushPartner,
+                                     nopPadding);
+        double perIter = static_cast<double>(warmupTotal) / warmup;
+        result.meanCyclesPerIteration = perIter;
+
+        auto pt = m.cpu().process().pageTables();
+        auto t1 = pt->translate(pair->first);
+        DramLocation l1 =
+            m.dram().mapping().decompose(t1->frame << kPageShift);
+        std::uint64_t actsPerWindow = static_cast<std::uint64_t>(
+            static_cast<double>(window) / perIter);
+        std::uint64_t flipsBefore = m.dram().totalFlips();
+        m.dram().hammerBulk(l1.bank, {l1.row}, actsPerWindow,
+                            windowsPerPair);
+        m.clock().advance(window * windowsPerPair);
+        m.clock().advance(bufferBytes / kLineBytes * 4);
+
+        if (m.dram().totalFlips() > flipsBefore) {
+            result.flipped = true;
+            result.secondsToFirstFlip =
+                m.config().seconds(m.clock().now() - start);
+            return result;
+        }
+    }
+    result.secondsToFirstFlip =
+        m.config().seconds(m.clock().now() - start);
+    return result;
+}
+
+ExplicitHammerResult
+ExplicitHammer::run(unsigned nopPadding, double budgetSeconds)
+{
+    pth_assert(bufferBytes > 0, "setup() has not run");
+    ExplicitHammerResult result;
+    Cycles budget = m.config().cycles(budgetSeconds);
+    Cycles start = m.clock().now();
+    Cycles window = m.config().disturbance.refreshWindowCycles;
+
+    // Like the published tool: hammer one address set for a while,
+    // check for flips, move on.
+    const std::uint64_t windowsPerPair = 8;
+    std::uint64_t salt = 0;
+
+    while (m.clock().now() - start < budget) {
+        auto pair = pickPair(salt++);
+        if (!pair)
+            continue;
+        ++result.pairsHammered;
+
+        // Detailed warmup for the per-iteration cost.
+        Cycles warmupTotal = 0;
+        const unsigned warmup = 16;
+        for (unsigned i = 0; i < warmup; ++i)
+            warmupTotal += iteration(pair->first, pair->second,
+                                     nopPadding);
+        double perIter = static_cast<double>(warmupTotal) / warmup;
+        result.meanCyclesPerIteration = perIter;
+
+        // Bulk-apply the rest of this pair's budget.
+        auto pt = m.cpu().process().pageTables();
+        auto t1 = pt->translate(pair->first);
+        auto t2 = pt->translate(pair->second);
+        DramLocation l1 =
+            m.dram().mapping().decompose(t1->frame << kPageShift);
+        DramLocation l2 =
+            m.dram().mapping().decompose(t2->frame << kPageShift);
+        std::uint64_t actsPerWindow = static_cast<std::uint64_t>(
+            static_cast<double>(window) / perIter);
+        std::uint64_t flipsBefore = m.dram().totalFlips();
+        m.dram().hammerBulk(l1.bank, {l1.row, l2.row}, actsPerWindow,
+                            windowsPerPair);
+        m.clock().advance(window * windowsPerPair);
+
+        // The tool scans its buffer for changes after each set.
+        m.clock().advance(bufferBytes / kLineBytes * 4);
+
+        if (m.dram().totalFlips() > flipsBefore) {
+            result.flipped = true;
+            result.secondsToFirstFlip =
+                m.config().seconds(m.clock().now() - start);
+            return result;
+        }
+    }
+    result.secondsToFirstFlip =
+        m.config().seconds(m.clock().now() - start);
+    return result;
+}
+
+} // namespace pth

@@ -1,0 +1,113 @@
+#include "attack/implicit_hammer.hh"
+
+#include "common/logging.hh"
+#include "cpu/machine.hh"
+
+namespace pth
+{
+
+ImplicitHammer::ImplicitHammer(Machine &machine, const AttackConfig &config)
+    : m(machine), cfg(config)
+{
+}
+
+Cycles
+ImplicitHammer::iteration(const HammerPair &pair, unsigned &dramFetches)
+{
+    Cycles start = m.clock().now();
+
+    // Evict both TLB entries and both L1PTE lines. The four streams
+    // are independent loads, so they overlap (accessBatch).
+    std::vector<VirtAddr> stream;
+    stream.reserve(pair.tlbSet1.size() + pair.tlbSet2.size() +
+                   pair.llcSet1.size() + pair.llcSet2.size());
+    stream.insert(stream.end(), pair.tlbSet1.begin(), pair.tlbSet1.end());
+    stream.insert(stream.end(), pair.tlbSet2.begin(), pair.tlbSet2.end());
+    stream.insert(stream.end(), pair.llcSet1.begin(), pair.llcSet1.end());
+    stream.insert(stream.end(), pair.llcSet2.begin(), pair.llcSet2.end());
+    m.cpu().accessBatch(stream);
+
+    // Touch the two targets: TLB miss -> PDE-cache hit -> L1PTE fetch
+    // from DRAM. These two are dependent on the eviction completing,
+    // so they are charged at full latency.
+    AccessOutcome a1 = m.cpu().access(pair.va1);
+    AccessOutcome a2 = m.cpu().access(pair.va2);
+    if (a1.l1pteFromDram)
+        ++dramFetches;
+    if (a2.l1pteFromDram)
+        ++dramFetches;
+
+    return m.clock().now() - start;
+}
+
+HammerRunResult
+ImplicitHammer::run(const HammerPair &pair, std::uint64_t iterations)
+{
+    HammerRunResult result;
+    result.iterations = iterations;
+    Cycles start = m.clock().now();
+    std::uint64_t flipsBefore = m.dram().totalFlips();
+
+    unsigned warmup = static_cast<unsigned>(
+        std::min<std::uint64_t>(cfg.hammerWarmupIterations, iterations));
+    unsigned dramFetches = 0;
+    Cycles warmupCycles = 0;
+    result.detailedTimings.reserve(warmup);
+    for (unsigned i = 0; i < warmup; ++i) {
+        Cycles c = iteration(pair, dramFetches);
+        result.detailedTimings.push_back(c);
+        warmupCycles += c;
+    }
+
+    if (warmup > 0) {
+        result.meanCyclesPerIteration =
+            static_cast<double>(warmupCycles) / warmup;
+        result.dramFetchRate =
+            static_cast<double>(dramFetches) / (2.0 * warmup);
+    }
+
+    std::uint64_t remaining = iterations - warmup;
+    if (remaining > 0 && result.meanCyclesPerIteration > 0) {
+        // Analytic bulk: advance time and apply the aggressor-row
+        // activations per refresh window.
+        Cycles bulkCycles = static_cast<Cycles>(
+            static_cast<double>(remaining) *
+            result.meanCyclesPerIteration);
+        Cycles window = m.config().disturbance.refreshWindowCycles;
+        std::uint64_t windows = bulkCycles / window;
+
+        auto pt = m.cpu().process().pageTables();
+        auto pte1 = pt->l1pteAddress(pair.va1);
+        auto pte2 = pt->l1pteAddress(pair.va2);
+        if (pte1 && pte2 && windows > 0) {
+            DramLocation l1 = m.dram().mapping().decompose(*pte1);
+            DramLocation l2 = m.dram().mapping().decompose(*pte2);
+            if (l1.bank == l2.bank) {
+                double actsPerIter = result.dramFetchRate;
+                std::uint64_t actsPerWindow = static_cast<std::uint64_t>(
+                    actsPerIter * static_cast<double>(window) /
+                    result.meanCyclesPerIteration);
+                m.dram().hammerBulk(l1.bank, {l1.row, l2.row},
+                                    actsPerWindow, windows);
+            }
+        }
+        m.clock().advance(bulkCycles);
+    }
+
+    result.totalCycles = m.clock().now() - start;
+    result.flips = m.dram().totalFlips() - flipsBefore;
+    return result;
+}
+
+std::vector<Cycles>
+ImplicitHammer::measureRounds(const HammerPair &pair, unsigned rounds)
+{
+    std::vector<Cycles> timings;
+    timings.reserve(rounds);
+    unsigned dramFetches = 0;
+    for (unsigned i = 0; i < rounds; ++i)
+        timings.push_back(iteration(pair, dramFetches));
+    return timings;
+}
+
+} // namespace pth

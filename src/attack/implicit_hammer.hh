@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The implicit double-sided hammer (Sections III-B and IV-E).
+ *
+ * One iteration evicts both targets' TLB entries and both L1PTE lines
+ * from the LLC, then touches the two targets: each touch walks only
+ * the Level-1 step (PDE cache hit) and fetches its L1PTE from DRAM,
+ * activating the two aggressor rows around the victim L1PT row.
+ *
+ * Long runs use measure-then-extrapolate: a detailed warmup measures
+ * the per-iteration cycle cost and DRAM-fetch rate, then the remaining
+ * iterations are applied to the DRAM disturbance model analytically
+ * (refresh-window accurate).
+ */
+
+#ifndef PTH_ATTACK_IMPLICIT_HAMMER_HH
+#define PTH_ATTACK_IMPLICIT_HAMMER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/attack_config.hh"
+#include "attack/pair_finder.hh"
+#include "common/types.hh"
+
+namespace pth
+{
+
+class Machine;
+
+/** Result of one hammering run. */
+struct HammerRunResult
+{
+    std::uint64_t iterations = 0;
+    Cycles totalCycles = 0;
+    double meanCyclesPerIteration = 0;
+    double dramFetchRate = 0;   //!< fraction of walks reaching DRAM
+    std::uint64_t flips = 0;    //!< bit flips injected during the run
+    std::vector<Cycles> detailedTimings;  //!< warmup per-iteration cost
+};
+
+/** The hammer. */
+class ImplicitHammer
+{
+  public:
+    ImplicitHammer(Machine &machine, const AttackConfig &config);
+
+    /** One fully-detailed double-sided iteration; returns its cost. */
+    Cycles iteration(const HammerPair &pair, unsigned &dramFetches);
+
+    /**
+     * Hammer the pair for the configured number of iterations
+     * (detailed warmup + analytic bulk).
+     */
+    HammerRunResult run(const HammerPair &pair, std::uint64_t iterations);
+
+    /**
+     * Measure per-iteration timings only (Figure 6): rounds detailed
+     * iterations with no extrapolation.
+     */
+    std::vector<Cycles> measureRounds(const HammerPair &pair,
+                                      unsigned rounds);
+
+  private:
+    Machine &m;
+    const AttackConfig &cfg;
+};
+
+} // namespace pth
+
+#endif // PTH_ATTACK_IMPLICIT_HAMMER_HH

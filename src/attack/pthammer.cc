@@ -1,0 +1,128 @@
+#include "attack/pthammer.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "cpu/machine.hh"
+#include "kernel/kernel_module.hh"
+
+namespace pth
+{
+
+PThammerAttack::PThammerAttack(Machine &machine, const AttackConfig &config)
+    : m(machine), cfg(config)
+{
+    report.machine = m.config().name;
+    report.superpages = cfg.superpages;
+    report.defense = m.kernel().defense().name();
+}
+
+void
+PThammerAttack::prepare()
+{
+    pth_assert(!preparedFlag, "prepare() ran twice");
+
+    // The unprivileged attacker process.
+    attackerProc = &m.kernel().createProcess(/*uid=*/1000);
+    m.cpu().setProcess(*attackerProc);
+
+    // Defense-specific counter-preparation.
+    if (cfg.exhaustKernelFraction > 0)
+        m.kernel().exhaustKernelZone(cfg.exhaustKernelFraction);
+    for (unsigned i = 0; i < cfg.credSprayProcesses; ++i)
+        m.kernel().createProcess(/*uid=*/1000, /*lightweight=*/true);
+
+    spray_ = std::make_unique<SprayManager>(m, cfg);
+    Cycles sprayCycles = spray_->spray();
+    report.sprayMs = m.seconds(sprayCycles) * 1e3;
+
+    // TLB pool + Algorithm 1 (the PMC-assisted minimal-size search is
+    // offline calibration, exactly as in the paper).
+    tlb_ = std::make_unique<TlbEvictionTool>(m, cfg);
+    Cycles tlbCycles = tlb_->prepare();
+    report.tlbPrepMs = m.seconds(tlbCycles) * 1e3;
+    KernelModule module(m);
+    unsigned minimal =
+        tlb_->findMinimalSetSize(spray_->randomTarget(0x7001), module);
+    tlb_->setWorkingSetSize(minimal + cfg.tlbSetSizeMargin);
+
+    // LLC pool.
+    pool_ = std::make_unique<LlcEvictionPool>(m, cfg);
+    Cycles bufferCycles = pool_->allocateBuffer();
+    PoolBuildReport build =
+        cfg.superpages
+            ? pool_->buildSuperpage(cfg.superpageSampleClasses)
+            : pool_->buildRegularSampled(cfg.regularSampleClasses,
+                                         cfg.regularSampleGroups);
+    report.llcPrepMinutes =
+        m.seconds(bufferCycles + build.extrapolatedCycles) / 60.0;
+
+    selector_ = std::make_unique<EvictionSetSelector>(m, cfg, *pool_,
+                                                      *tlb_);
+    pairs_ = std::make_unique<PairFinder>(m, cfg, *spray_, *tlb_,
+                                          *selector_);
+    hammer_ = std::make_unique<ImplicitHammer>(m, cfg);
+    checker_ = std::make_unique<FlipChecker>(m, cfg, *spray_);
+    exploit_ = std::make_unique<Exploit>(m, cfg, *spray_);
+    preparedFlag = true;
+}
+
+AttackReport
+PThammerAttack::run()
+{
+    if (!preparedFlag)
+        prepare();
+
+    RunningStat tlbSelect;
+    RunningStat llcSelect;
+    RunningStat hammerTime;
+    RunningStat checkTime;
+
+    Cycles loopStart = m.clock().now();
+    Cycles budget = m.config().cycles(cfg.hammerBudgetSeconds);
+
+    while (report.attempts < cfg.maxAttempts &&
+           m.clock().now() - loopStart < budget) {
+        auto pair = pairs_->next();
+        if (!pair)
+            break;
+        ++report.attempts;
+        tlbSelect.sample(m.seconds(pair->tlbSelectCycles) * 1e6);
+        llcSelect.sample(m.seconds(pair->llcSelectCycles / 2) * 1e3);
+
+        HammerRunResult hr = hammer_->run(*pair, cfg.hammerIterations);
+        hammerTime.sample(m.seconds(hr.totalCycles) * 1e3);
+
+        Cycles checkStart = m.clock().now();
+        auto findings = checker_->check();
+        checkTime.sample(m.seconds(m.clock().now() - checkStart));
+
+        for (const FlipFinding &finding : findings) {
+            ++report.flipsObserved;
+            if (!report.flipped) {
+                report.flipped = true;
+                report.timeToFirstFlipMinutes =
+                    m.seconds(m.clock().now() - loopStart) / 60.0;
+            }
+            ExploitOutcome outcome = exploit_->attempt(finding);
+            if (outcome.escalated) {
+                report.escalated = true;
+                report.flipsUntilEscalation = report.flipsObserved;
+                report.exploitPath = exploitPathName(outcome.path);
+                break;
+            }
+        }
+        if (report.escalated)
+            break;
+    }
+
+    report.tlbSelectMicros = tlbSelect.mean();
+    report.llcSelectMs = llcSelect.mean();
+    report.hammerMs = hammerTime.mean();
+    report.checkSeconds = checkTime.mean();
+    if (!report.flipped)
+        report.timeToFirstFlipMinutes =
+            m.seconds(m.clock().now() - loopStart) / 60.0;
+    return report;
+}
+
+} // namespace pth

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The end-to-end PThammer attack: preparation (spray, TLB pool, LLC
+ * pool), the hammering loop (pair selection, implicit double-sided
+ * hammering, flip checking) and exploitation. This is the library's
+ * headline API; `examples/quickstart.cc` shows the three-call usage.
+ */
+
+#ifndef PTH_ATTACK_PTHAMMER_HH
+#define PTH_ATTACK_PTHAMMER_HH
+
+#include <memory>
+#include <string>
+
+#include "attack/attack_config.hh"
+#include "attack/eviction_pool.hh"
+#include "attack/eviction_selection.hh"
+#include "attack/exploit.hh"
+#include "attack/flip_checker.hh"
+#include "attack/implicit_hammer.hh"
+#include "attack/pair_finder.hh"
+#include "attack/spray.hh"
+#include "attack/tlb_eviction.hh"
+#include "kernel/kernel.hh"
+
+namespace pth
+{
+
+class Machine;
+
+/** Everything Table II reports, plus the escalation outcome. */
+struct AttackReport
+{
+    std::string machine;
+    bool superpages = false;
+    std::string defense;
+
+    double sprayMs = 0;
+    double tlbPrepMs = 0;           //!< Table II "Preparation TLB"
+    double llcPrepMinutes = 0;      //!< Table II "Preparation LLC"
+    double tlbSelectMicros = 0;     //!< Table II "Set Selection TLB"
+    double llcSelectMs = 0;         //!< Table II "Set Selection LLC"
+    double hammerMs = 0;            //!< Table II "Hammer Time"
+    double checkSeconds = 0;        //!< Table II "Check Time"
+    double timeToFirstFlipMinutes = 0;  //!< Table II "Time to Bit Flip"
+
+    bool flipped = false;
+    bool escalated = false;
+    unsigned attempts = 0;
+    unsigned flipsObserved = 0;
+    unsigned flipsUntilEscalation = 0;
+    std::string exploitPath = "none";
+};
+
+/** The attack orchestrator. */
+class PThammerAttack
+{
+  public:
+    PThammerAttack(Machine &machine, const AttackConfig &config);
+
+    /**
+     * Phase 1: create the attacker process, run defense-specific
+     * counter-preparation (kernel-zone exhaustion, cred spray), spray
+     * L1PTs, prepare the TLB pool and build the LLC pool.
+     */
+    void prepare();
+
+    /**
+     * Phase 2: the hammering loop. Runs until escalation, attempt
+     * exhaustion or the simulated budget expires.
+     */
+    AttackReport run();
+
+    /** Component access for benches and tests (valid after prepare). */
+    SprayManager &sprayer() { return *spray_; }
+    TlbEvictionTool &tlbTool() { return *tlb_; }
+    LlcEvictionPool &pool() { return *pool_; }
+    EvictionSetSelector &selector() { return *selector_; }
+    PairFinder &pairs() { return *pairs_; }
+    ImplicitHammer &hammer() { return *hammer_; }
+    FlipChecker &checker() { return *checker_; }
+
+    /** Preparation timings (valid after prepare). */
+    const AttackReport &prepReport() const { return report; }
+
+    /** The attacker process. */
+    Process &attacker() { return *attackerProc; }
+
+  private:
+    Machine &m;
+    AttackConfig cfg;
+    AttackReport report;
+    Process *attackerProc = nullptr;
+
+    std::unique_ptr<SprayManager> spray_;
+    std::unique_ptr<TlbEvictionTool> tlb_;
+    std::unique_ptr<LlcEvictionPool> pool_;
+    std::unique_ptr<EvictionSetSelector> selector_;
+    std::unique_ptr<PairFinder> pairs_;
+    std::unique_ptr<ImplicitHammer> hammer_;
+    std::unique_ptr<FlipChecker> checker_;
+    std::unique_ptr<Exploit> exploit_;
+    bool preparedFlag = false;
+};
+
+} // namespace pth
+
+#endif // PTH_ATTACK_PTHAMMER_HH

@@ -1,0 +1,51 @@
+#include "attack/timing.hh"
+
+#include "cpu/cpu.hh"
+#include "cpu/machine_config.hh"
+
+namespace pth
+{
+
+LatencyProbe::LatencyProbe(Cpu &cpu_, const MachineConfig &machine,
+                           const AttackConfig &attack)
+    : cpu(cpu_), mcfg(machine), acfg(attack), noise(attack.seed ^ 0x71e)
+{
+}
+
+Cycles
+LatencyProbe::timeAccess(VirtAddr va)
+{
+    AccessOutcome out = cpu.access(va);
+    Cycles measured = out.latency;
+    if (acfg.timingNoiseProbability > 0 &&
+        noise.chance(acfg.timingNoiseProbability)) {
+        // An interrupt or sibling-core burst landed inside the timed
+        // window.
+        measured += acfg.timingNoiseCycles;
+    }
+    return measured;
+}
+
+Cycles
+LatencyProbe::dramThreshold() const
+{
+    // Anything slower than a full cache-hit path plus a healthy walk
+    // margin must have touched DRAM.
+    Cycles cacheHit = mcfg.caches.l1d.latency + mcfg.caches.l2.latency +
+                      mcfg.caches.llc.latency;
+    return cacheHit + mcfg.tlb.l2HitLatency + 60;
+}
+
+Cycles
+LatencyProbe::bankConflictThreshold() const
+{
+    // A PTE fetch from an already-open different row of the same bank
+    // pays rowConflict; a different bank pays at most rowClosed. Split
+    // the difference, on top of the cache+walk overhead.
+    Cycles overhead = mcfg.caches.l1d.latency + mcfg.caches.l2.latency +
+                      mcfg.caches.llc.latency + mcfg.tlb.l2HitLatency + 10;
+    return overhead +
+           (mcfg.dramTiming.rowClosed + mcfg.dramTiming.rowConflict) / 2;
+}
+
+} // namespace pth

@@ -1,0 +1,74 @@
+#include "cache/cache_hierarchy.hh"
+
+#include "dram/dram.hh"
+
+namespace pth
+{
+
+CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig &config,
+                               Dram &dram_)
+    : l1Cache(config.l1d, "l1d"), l2Cache(config.l2, "l2"),
+      llcCache(config.llc, "llc"), dram(dram_)
+{
+}
+
+MemAccessResult
+CacheHierarchy::access(PhysAddr pa, Cycles now)
+{
+    MemAccessResult result;
+    result.latency = l1Cache.config().latency;
+    if (l1Cache.access(pa)) {
+        result.servedBy = ServedBy::L1;
+        return result;
+    }
+
+    result.latency += l2Cache.config().latency;
+    if (l2Cache.access(pa)) {
+        result.servedBy = ServedBy::L2;
+        l1Cache.fill(pa);
+        return result;
+    }
+
+    result.latency += llcCache.config().latency;
+    if (llcCache.access(pa)) {
+        result.servedBy = ServedBy::Llc;
+        l2Cache.fill(pa);
+        l1Cache.fill(pa);
+        return result;
+    }
+
+    // LLC miss: go to memory.
+    ++nLlcMisses;
+    DramAccessResult dramResult = dram.access(pa, now);
+    result.latency += dramResult.latency;
+    result.servedBy = ServedBy::Dram;
+
+    // Fill back. Inclusive LLC: whoever the LLC displaces must leave
+    // the core caches too.
+    if (auto evicted = llcCache.fill(pa)) {
+        l1Cache.invalidate(*evicted);
+        l2Cache.invalidate(*evicted);
+    }
+    l2Cache.fill(pa);
+    l1Cache.fill(pa);
+    return result;
+}
+
+Cycles
+CacheHierarchy::clflush(PhysAddr pa)
+{
+    l1Cache.invalidate(pa);
+    l2Cache.invalidate(pa);
+    llcCache.invalidate(pa);
+    return 60;
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    l1Cache.flushAll();
+    l2Cache.flushAll();
+    llcCache.flushAll();
+}
+
+} // namespace pth

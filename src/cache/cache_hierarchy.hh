@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Three-level inclusive cache hierarchy (L1D, L2, sliced LLC) in front
+ * of DRAM. The LLC is inclusive: evicting an LLC line back-invalidates
+ * it from L1 and L2, which is why an unprivileged LLC eviction set is
+ * enough to force the next PTE fetch to DRAM — the property PThammer
+ * depends on (Section III-D of the paper).
+ */
+
+#ifndef PTH_CACHE_CACHE_HIERARCHY_HH
+#define PTH_CACHE_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "cache/cache_config.hh"
+#include "common/types.hh"
+
+namespace pth
+{
+
+class Dram;
+
+/** Where a memory access was served from. */
+enum class ServedBy { L1, L2, Llc, Dram };
+
+/** Timing/result of one memory access through the hierarchy. */
+struct MemAccessResult
+{
+    Cycles latency = 0;
+    ServedBy servedBy = ServedBy::L1;
+
+    bool fromDram() const { return servedBy == ServedBy::Dram; }
+};
+
+/** The cache hierarchy. */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const CacheHierarchyConfig &config, Dram &dram);
+
+    /**
+     * Read or write the line holding pa at simulated time now,
+     * filling all levels on the way back.
+     */
+    MemAccessResult access(PhysAddr pa, Cycles now);
+
+    /**
+     * x86 clflush: remove the line from every level.
+     * @return Constant instruction latency.
+     */
+    Cycles clflush(PhysAddr pa);
+
+    /** LLC misses observed (the longest_lat_cache.miss PMC event). */
+    std::uint64_t llcMisses() const { return nLlcMisses; }
+
+    /** Level accessors for tests and diagnostics. */
+    Cache &l1d() { return l1Cache; }
+    Cache &l2() { return l2Cache; }
+    Cache &llc() { return llcCache; }
+    const Cache &l1d() const { return l1Cache; }
+    const Cache &l2() const { return l2Cache; }
+    const Cache &llc() const { return llcCache; }
+
+    /** Drop all cached lines (context-switch-free full flush). */
+    void flushAll();
+
+  private:
+    Cache l1Cache;
+    Cache l2Cache;
+    Cache llcCache;
+    Dram &dram;
+    std::uint64_t nLlcMisses = 0;
+};
+
+} // namespace pth
+
+#endif // PTH_CACHE_CACHE_HIERARCHY_HH

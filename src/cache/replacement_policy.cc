@@ -1,0 +1,264 @@
+#include "cache/replacement_policy.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pth
+{
+
+std::string
+replacementKindName(ReplacementKind kind)
+{
+    switch (kind) {
+      case ReplacementKind::Lru:
+        return "lru";
+      case ReplacementKind::TreePlru:
+        return "tree-plru";
+      case ReplacementKind::Random:
+        return "random";
+      case ReplacementKind::Nru:
+        return "nru";
+      case ReplacementKind::Aging:
+        return "aging";
+    }
+    return "?";
+}
+
+std::unique_ptr<ReplacementPolicy>
+ReplacementPolicy::create(ReplacementKind kind, std::uint64_t sets,
+                          unsigned ways, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplacementKind::Lru:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplacementKind::TreePlru:
+        return std::make_unique<TreePlruPolicy>(sets, ways);
+      case ReplacementKind::Random:
+        return std::make_unique<RandomPolicy>(ways, seed);
+      case ReplacementKind::Nru:
+        return std::make_unique<NruPolicy>(sets, ways, seed);
+      case ReplacementKind::Aging:
+        return std::make_unique<AgingPolicy>(sets, ways, seed);
+    }
+    panic("unknown replacement kind");
+}
+
+LruPolicy::LruPolicy(std::uint64_t sets, unsigned ways_)
+    : ways(ways_), stamps(sets * ways_, 0)
+{
+}
+
+void
+LruPolicy::touch(std::uint64_t set, unsigned way)
+{
+    stamps[set * ways + way] = ++tick;
+}
+
+void
+LruPolicy::insert(std::uint64_t set, unsigned way)
+{
+    touch(set, way);
+}
+
+unsigned
+LruPolicy::victim(std::uint64_t set)
+{
+    unsigned best = 0;
+    std::uint64_t bestStamp = ~0ull;
+    for (unsigned w = 0; w < ways; ++w) {
+        std::uint64_t s = stamps[set * ways + w];
+        if (s < bestStamp) {
+            bestStamp = s;
+            best = w;
+        }
+    }
+    return best;
+}
+
+TreePlruPolicy::TreePlruPolicy(std::uint64_t sets, unsigned ways_)
+    : ways(ways_)
+{
+    treeWays = 1;
+    while (treeWays < ways)
+        treeWays <<= 1;
+    levels = log2i(treeWays);
+    bits.assign(sets * (treeWays - 1), 0);
+}
+
+void
+TreePlruPolicy::updatePath(std::uint64_t set, unsigned way)
+{
+    // Walk from the root; at each node, point the bit *away* from the
+    // touched way.
+    std::uint8_t *tree = &bits[set * (treeWays - 1)];
+    unsigned node = 0;
+    for (unsigned level = 0; level < levels; ++level) {
+        unsigned shift = levels - 1 - level;
+        unsigned dir = (way >> shift) & 1;
+        tree[node] = static_cast<std::uint8_t>(dir ^ 1);
+        node = 2 * node + 1 + dir;
+    }
+}
+
+void
+TreePlruPolicy::touch(std::uint64_t set, unsigned way)
+{
+    updatePath(set, way);
+}
+
+void
+TreePlruPolicy::insert(std::uint64_t set, unsigned way)
+{
+    updatePath(set, way);
+}
+
+unsigned
+TreePlruPolicy::victim(std::uint64_t set)
+{
+    std::uint8_t *tree = &bits[set * (treeWays - 1)];
+    for (unsigned attempt = 0; attempt < 2 * treeWays; ++attempt) {
+        unsigned node = 0;
+        unsigned way = 0;
+        for (unsigned level = 0; level < levels; ++level) {
+            unsigned dir = tree[node];
+            way = (way << 1) | dir;
+            node = 2 * node + 1 + dir;
+        }
+        if (way < ways)
+            return way;
+        // The tree pointed into the padded range (non-power-of-two
+        // associativity); steer away and retry.
+        updatePath(set, way >= ways ? ways - 1 : way);
+    }
+    return ways - 1;
+}
+
+NruPolicy::NruPolicy(std::uint64_t sets, unsigned ways_, std::uint64_t seed)
+    : ways(ways_), refBits(sets * ways_, 0), rng(seed)
+{
+}
+
+void
+NruPolicy::touch(std::uint64_t set, unsigned way)
+{
+    refBits[set * ways + way] = 1;
+}
+
+void
+NruPolicy::insert(std::uint64_t set, unsigned way)
+{
+    refBits[set * ways + way] = 1;
+}
+
+unsigned
+NruPolicy::victim(std::uint64_t set)
+{
+    std::uint8_t *refs = &refBits[set * ways];
+    unsigned clearCount = 0;
+    for (unsigned w = 0; w < ways; ++w)
+        if (!refs[w])
+            ++clearCount;
+    if (clearCount == 0) {
+        // Everything was recently used: clear the epoch and pick any.
+        for (unsigned w = 0; w < ways; ++w)
+            refs[w] = 0;
+        return static_cast<unsigned>(rng.below(ways));
+    }
+    unsigned pick = static_cast<unsigned>(rng.below(clearCount));
+    for (unsigned w = 0; w < ways; ++w) {
+        if (!refs[w]) {
+            if (pick == 0)
+                return w;
+            --pick;
+        }
+    }
+    return ways - 1;
+}
+
+AgingPolicy::AgingPolicy(std::uint64_t sets, unsigned ways_,
+                         std::uint64_t seed)
+    : ways(ways_), ages(sets * ways_, 0), rng(seed)
+{
+}
+
+void
+AgingPolicy::touch(std::uint64_t set, unsigned way)
+{
+    ages[set * ways + way] = touchAge;
+}
+
+void
+AgingPolicy::insert(std::uint64_t set, unsigned way)
+{
+    ages[set * ways + way] = insertAge;
+}
+
+unsigned
+AgingPolicy::victim(std::uint64_t set)
+{
+    std::uint8_t *age = &ages[set * ways];
+    auto pickAmong = [&](std::uint8_t wanted) -> int {
+        unsigned count = 0;
+        for (unsigned w = 0; w < ways; ++w)
+            if (age[w] == wanted)
+                ++count;
+        if (!count)
+            return -1;
+        unsigned pick = static_cast<unsigned>(rng.below(count));
+        for (unsigned w = 0; w < ways; ++w) {
+            if (age[w] == wanted) {
+                if (pick == 0)
+                    return static_cast<int>(w);
+                --pick;
+            }
+        }
+        return -1;
+    };
+
+    for (unsigned round = 0; round < 2u * touchAge + 2; ++round) {
+        int zero = pickAmong(0);
+        if (zero >= 0)
+            return static_cast<unsigned>(zero);
+        // No way is stale. Sometimes the hardware heuristic punts and
+        // replaces a young fill instead of ageing the whole set; this
+        // keeps referenced entries alive past exact multiples of the
+        // associativity.
+        if (rng.chance(skipAgeProbability)) {
+            std::uint8_t minAge = 255;
+            for (unsigned w = 0; w < ways; ++w)
+                minAge = std::min(minAge, age[w]);
+            int young = pickAmong(minAge);
+            if (young >= 0)
+                return static_cast<unsigned>(young);
+        }
+        for (unsigned w = 0; w < ways; ++w)
+            if (age[w] > 0)
+                --age[w];
+    }
+    return static_cast<unsigned>(rng.below(ways));
+}
+
+RandomPolicy::RandomPolicy(unsigned ways_, std::uint64_t seed)
+    : ways(ways_), rng(seed)
+{
+}
+
+void
+RandomPolicy::touch(std::uint64_t, unsigned)
+{
+}
+
+void
+RandomPolicy::insert(std::uint64_t, unsigned)
+{
+}
+
+unsigned
+RandomPolicy::victim(std::uint64_t)
+{
+    return static_cast<unsigned>(rng.below(ways));
+}
+
+} // namespace pth

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Intel LLC complex-addressing slice hash.
+ *
+ * The slice index is the XOR-parity of the physical address with one
+ * published mask per slice bit (Maurice et al., "Reverse Engineering
+ * Intel Last-Level Cache Complex Addressing Using Performance
+ * Counters", RAID 2015). Eviction-set construction must solve exactly
+ * this hash, which is why the regular-page pool build is so much slower
+ * than the superpage build.
+ */
+
+#ifndef PTH_CACHE_SLICE_HASH_HH
+#define PTH_CACHE_SLICE_HASH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pth
+{
+
+/** Parity-mask slice hash for a power-of-two slice count. */
+class SliceHash
+{
+  public:
+    /**
+     * @param slices Number of LLC slices (1, 2, 4 or 8).
+     * @param seed Unused for the published masks; reserved.
+     */
+    explicit SliceHash(unsigned slices);
+
+    /** Slice index of a physical address. */
+    unsigned slice(PhysAddr pa) const;
+
+    /** Number of slices. */
+    unsigned slices() const { return nSlices; }
+
+    /** Parity masks in use (one per slice-index bit). */
+    const std::vector<std::uint64_t> &masks() const { return bitMasks; }
+
+  private:
+    unsigned nSlices;
+    std::vector<std::uint64_t> bitMasks;
+};
+
+} // namespace pth
+
+#endif // PTH_CACHE_SLICE_HASH_HH

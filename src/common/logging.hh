@@ -1,0 +1,49 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * fatal() terminates on user error (bad configuration); panic()
+ * terminates on internal simulator bugs; inform()/warn() report status
+ * without stopping the simulation.
+ */
+
+#ifndef PTH_COMMON_LOGGING_HH
+#define PTH_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pth
+{
+
+/** Print an informational message to stderr ("info: ..."). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message to stderr ("warn: ..."). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because of a user-level error (bad configuration or
+ * arguments). Exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because of an internal simulator bug. Calls abort() so a
+ * core dump or debugger can inspect the failure.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds. */
+#define pth_assert(cond, fmt, ...)                                       \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            ::pth::panic("assertion '%s' failed at %s:%d: " fmt, #cond,  \
+                         __FILE__, __LINE__, ##__VA_ARGS__);             \
+    } while (0)
+
+} // namespace pth
+
+#endif // PTH_COMMON_LOGGING_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the simulation (weak-cell placement,
+ * replacement tie-breaks, allocation jitter) draws from seeded
+ * generators so that experiments replay bit-identically.
+ */
+
+#ifndef PTH_COMMON_RANDOM_HH
+#define PTH_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace pth
+{
+
+/** Finalizer from SplitMix64; a high-quality 64-bit mixing function. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine a seed with up to three stream identifiers. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t a, std::uint64_t b = 0,
+            std::uint64_t c = 0)
+{
+    return mix64(mix64(mix64(seed ^ a) + b) + c);
+}
+
+/**
+ * Small fast xoshiro-style generator (xorshift128+). Deterministic and
+ * cheap enough to sit on the simulator's hot paths.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed)
+    {
+        s0 = mix64(seed);
+        s1 = mix64(s0);
+        if (!s0 && !s1)
+            s1 = 1;
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0;
+        const std::uint64_t y = s1;
+        s0 = y;
+        x ^= x << 23;
+        s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1 + y;
+    }
+
+    /** Uniform draw in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform draw in [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) *
+                   (1.0 / 9007199254740992.0) < p;
+    }
+
+  private:
+    std::uint64_t s0;
+    std::uint64_t s1;
+};
+
+} // namespace pth
+
+#endif // PTH_COMMON_RANDOM_HH

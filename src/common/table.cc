@@ -1,0 +1,73 @@
+#include "common/table.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace pth
+{
+
+Table::Table(std::vector<std::string> headers_) : headers(std::move(headers_))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    pth_assert(row.size() == headers.size(), "table row width mismatch");
+    rows.push_back(std::move(row));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers.size(), 0);
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string out = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += " " + row[c];
+            out.append(widths[c] - row[c].size(), ' ');
+            out += " |";
+        }
+        return out + "\n";
+    };
+
+    std::string sep = "+";
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+        sep.append(widths[c] + 2, '-');
+        sep += "+";
+    }
+    sep += "\n";
+
+    std::string out = sep + renderRow(headers) + sep;
+    for (const auto &row : rows)
+        out += renderRow(row);
+    out += sep;
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return std::string(buf);
+}
+
+} // namespace pth

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit the
+ * same rows the paper's tables and figures report.
+ */
+
+#ifndef PTH_COMMON_TABLE_HH
+#define PTH_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace pth
+{
+
+/** Column-aligned ASCII table. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the whole table. */
+    std::string render() const;
+
+    /** Render and print to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace pth
+
+#endif // PTH_COMMON_TABLE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#ifndef PTH_COMMON_TYPES_HH
+#define PTH_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pth
+{
+
+/** A simulated physical byte address. */
+using PhysAddr = std::uint64_t;
+
+/** A simulated virtual byte address. */
+using VirtAddr = std::uint64_t;
+
+/** A simulated physical frame number (PhysAddr >> 12). */
+using PhysFrame = std::uint64_t;
+
+/** A simulated virtual page number (VirtAddr >> 12 for 4 KiB pages). */
+using VirtPage = std::uint64_t;
+
+/** Simulated processor cycles. */
+using Cycles = std::uint64_t;
+
+/** Bytes per page (regular 4 KiB pages). */
+inline constexpr std::uint64_t kPageBytes = 4096;
+
+/** log2 of kPageBytes. */
+inline constexpr unsigned kPageShift = 12;
+
+/** Bytes per superpage (2 MiB). */
+inline constexpr std::uint64_t kSuperPageBytes = 2ull * 1024 * 1024;
+
+/** log2 of kSuperPageBytes. */
+inline constexpr unsigned kSuperPageShift = 21;
+
+/** Bytes per cache line. */
+inline constexpr std::uint64_t kLineBytes = 64;
+
+/** log2 of kLineBytes. */
+inline constexpr unsigned kLineShift = 6;
+
+/** Page-table entries per page-table page (x86-64). */
+inline constexpr std::uint64_t kPtesPerPage = 512;
+
+/** Invalid frame sentinel. */
+inline constexpr PhysFrame kInvalidFrame = ~0ull;
+
+/** Size of a page-table entry in bytes. */
+inline constexpr std::uint64_t kPteBytes = 8;
+
+} // namespace pth
+
+#endif // PTH_COMMON_TYPES_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The execution engine an (attacker) program runs on: timed loads
+ * through MMU + caches + DRAM, clflush, NOP padding and rdtsc, plus
+ * functional user-space reads/writes that honour (possibly corrupted)
+ * page tables.
+ */
+
+#ifndef PTH_CPU_CPU_HH
+#define PTH_CPU_CPU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/machine_config.hh"
+#include "kernel/kernel.hh"
+
+namespace pth
+{
+
+class Mmu;
+class CacheHierarchy;
+class PhysicalMemory;
+
+/** Outcome of one timed access. */
+struct AccessOutcome
+{
+    bool ok = false;          //!< translation succeeded
+    Cycles latency = 0;
+    PhysAddr pa = 0;
+    bool causedWalk = false;
+    bool l1pteFromDram = false;  //!< walk fetched the leaf PTE from DRAM
+};
+
+/** The CPU front end. */
+class Cpu
+{
+  public:
+    Cpu(const MachineConfig &config, Clock &clock, Mmu &mmu,
+        CacheHierarchy &caches, PhysicalMemory &memory);
+
+    /** Context switch: install a process's address space. */
+    void setProcess(Process &proc);
+
+    /** Currently running process. */
+    Process &process();
+
+    /** Timed load/store of the line at va. Advances the clock. */
+    AccessOutcome access(VirtAddr va, bool write = false);
+
+    /**
+     * Timed streaming access to many addresses with memory-level
+     * parallelism: latencies overlap by the configured factor. Used
+     * for eviction-set traversals, matching the paper's 600-1400-cycle
+     * hammer iterations that an additive in-order model cannot hit.
+     *
+     * @return Total cycles charged.
+     */
+    Cycles accessBatch(const std::vector<VirtAddr> &vas);
+
+    /** Timed clflush of the line at va (translates first). */
+    void clflush(VirtAddr va);
+
+    /** Execute n NOPs. */
+    void nops(std::uint64_t n);
+
+    /** Read the cycle counter (charges rdtsc cost). */
+    Cycles rdtsc();
+
+    /** Current simulated time without charging anything. */
+    Cycles now() const;
+
+    /**
+     * Functional (untimed) user-space read through the current page
+     * tables; reflects rowhammer-corrupted translations.
+     * @return false when va is unmapped.
+     */
+    bool readUser64(VirtAddr va, std::uint64_t &value) const;
+
+    /** Functional user-space write through the current page tables. */
+    bool writeUser64(VirtAddr va, std::uint64_t value);
+
+    /** The MMU (for the attack's set-mapping computations). */
+    Mmu &mmu() { return mmuRef; }
+
+  private:
+    const MachineConfig &cfg;
+    Clock &clk;
+    Mmu &mmuRef;
+    CacheHierarchy &caches;
+    PhysicalMemory &mem;
+    Process *current = nullptr;
+};
+
+} // namespace pth
+
+#endif // PTH_CPU_CPU_HH

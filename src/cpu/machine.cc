@@ -1,0 +1,19 @@
+#include "cpu/machine.hh"
+
+namespace pth
+{
+
+Machine::Machine(const MachineConfig &config)
+    : cfg(config), pmem(config.dramGeometry.sizeBytes),
+      dramDev(config.dramGeometry, config.dramTiming, config.disturbance,
+              pmem),
+      hierarchy(config.caches, dramDev),
+      mmuDev(config.tlb, config.psc, pmem, hierarchy)
+{
+    kern = std::make_unique<Kernel>(cfg.kernel, pmem, dramDev.mapping(),
+                                    dramDev.vulnerability(), clk,
+                                    cfg.defense);
+    processor = std::make_unique<Cpu>(cfg, clk, mmuDev, hierarchy, pmem);
+}
+
+} // namespace pth

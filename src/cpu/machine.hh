@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The whole simulated machine: clock, physical memory, DRAM, caches,
+ * MMU, kernel and CPU, composed from one MachineConfig. This is the
+ * library's top-level entry point.
+ */
+
+#ifndef PTH_CPU_MACHINE_HH
+#define PTH_CPU_MACHINE_HH
+
+#include <memory>
+
+#include "cache/cache_hierarchy.hh"
+#include "cpu/cpu.hh"
+#include "cpu/machine_config.hh"
+#include "dram/dram.hh"
+#include "kernel/kernel.hh"
+#include "mem/physical_memory.hh"
+#include "mmu/mmu.hh"
+
+namespace pth
+{
+
+/** A complete machine instance. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    /** Configuration this machine was built from. */
+    const MachineConfig &config() const { return cfg; }
+
+    Clock &clock() { return clk; }
+    PhysicalMemory &memory() { return pmem; }
+    Dram &dram() { return dramDev; }
+    CacheHierarchy &caches() { return hierarchy; }
+    Mmu &mmu() { return mmuDev; }
+    Kernel &kernel() { return *kern; }
+    Cpu &cpu() { return *processor; }
+
+    /** Simulated seconds elapsed. */
+    double seconds() const { return cfg.seconds(clk.now()); }
+
+    /** Convert a cycle count to seconds at this machine's clock. */
+    double seconds(Cycles cycles) const { return cfg.seconds(cycles); }
+
+  private:
+    MachineConfig cfg;
+    Clock clk;
+    PhysicalMemory pmem;
+    Dram dramDev;
+    CacheHierarchy hierarchy;
+    Mmu mmuDev;
+    std::unique_ptr<Kernel> kern;
+    std::unique_ptr<Cpu> processor;
+};
+
+} // namespace pth
+
+#endif // PTH_CPU_MACHINE_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Full-machine configurations, including presets for the three
+ * Table-I laptops the paper evaluates.
+ */
+
+#ifndef PTH_CPU_MACHINE_CONFIG_HH
+#define PTH_CPU_MACHINE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache_config.hh"
+#include "dram/dram_config.hh"
+#include "kernel/defense.hh"
+#include "kernel/kernel.hh"
+#include "paging/paging_structure_cache.hh"
+#include "tlb/tlb_config.hh"
+
+namespace pth
+{
+
+/** Everything needed to build a Machine. */
+struct MachineConfig
+{
+    std::string name = "generic";
+    std::string architecture = "SandyBridge";
+    std::string cpuModel = "generic";
+    std::string dramModel = "DDR3";
+    double ghz = 2.6;                 //!< core clock, for cycle<->seconds
+
+    DramGeometry dramGeometry;
+    DramTiming dramTiming;
+    DisturbanceConfig disturbance;
+    CacheHierarchyConfig caches;
+    TlbConfig tlb;
+    PscConfig psc;
+    KernelConfig kernel;
+    DefenseKind defense = DefenseKind::None;
+
+    /**
+     * Memory-level-parallelism divisor applied to batched eviction-set
+     * streams (an out-of-order core overlaps their misses; an in-order
+     * additive model would be several times too slow).
+     */
+    double batchOverlap = 6.0;
+
+    Cycles nopCycles = 1;             //!< cost of one NOP
+    Cycles rdtscCycles = 30;          //!< cost of a timing read
+
+    /** Convert simulated cycles to seconds at this machine's clock. */
+    double seconds(Cycles cycles) const
+    {
+        return static_cast<double>(cycles) / (ghz * 1e9);
+    }
+
+    /** Convert seconds to cycles. */
+    Cycles cycles(double secs) const
+    {
+        return static_cast<Cycles>(secs * ghz * 1e9);
+    }
+
+    /** Lenovo T420: SandyBridge i5-2540M, 12-way 3 MiB LLC, 8 GiB. */
+    static MachineConfig lenovoT420();
+
+    /** Lenovo X230: IvyBridge i5-3230M, 12-way 3 MiB LLC, 8 GiB. */
+    static MachineConfig lenovoX230();
+
+    /** Dell E6420: SandyBridge i7-2640M, 16-way 4 MiB LLC, 8 GiB. */
+    static MachineConfig dellE6420();
+
+    /** All three paper machines. */
+    static std::vector<MachineConfig> paperMachines();
+
+    /**
+     * Scaled-down machine (256 MiB DRAM, small LLC) for unit tests.
+     * Geometry ratios and code paths match the real presets.
+     */
+    static MachineConfig testSmall();
+};
+
+} // namespace pth
+
+#endif // PTH_CPU_MACHINE_CONFIG_HH

@@ -1,0 +1,57 @@
+#include "dram/address_mapping.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pth
+{
+
+AddressMapping::AddressMapping(const DramGeometry &geometry) : geom(geometry)
+{
+    pth_assert(isPow2(geom.banks) && isPow2(geom.rowBytes) &&
+                   isPow2(geom.sizeBytes),
+               "DRAM geometry must be power-of-two");
+    bankBits = log2i(geom.banks);
+    rowOffsetBits = log2i(geom.rowBytes);
+    rowShift = rowOffsetBits + bankBits;
+    pth_assert(geom.rows() >= 4, "DRAM too small for its row stride");
+}
+
+DramLocation
+AddressMapping::decompose(PhysAddr pa) const
+{
+    DramLocation loc;
+    loc.column = bits(pa, rowOffsetBits - 1, 0);
+    loc.row = pa >> rowShift;
+
+    // DRAMA-style bank hash: each bank bit XORs a low tap with a row
+    // bit well above the low row bits, so small row-index deltas
+    // preserve the bank.
+    std::uint64_t taps = bits(pa, rowShift - 1, rowOffsetBits);
+    std::uint64_t rowXor = bits(loc.row, 5 + bankBits - 1, 5);
+    loc.bank = static_cast<unsigned>(taps ^ rowXor) &
+               static_cast<unsigned>(geom.banks - 1);
+    return loc;
+}
+
+PhysAddr
+AddressMapping::compose(const DramLocation &loc) const
+{
+    std::uint64_t rowXor = bits(loc.row, 5 + bankBits - 1, 5);
+    std::uint64_t taps = (loc.bank ^ rowXor) & (geom.banks - 1);
+    return (loc.row << rowShift) | (taps << rowOffsetBits) | loc.column;
+}
+
+void
+AddressMapping::framesInRow(unsigned bank, std::uint64_t row,
+                            PhysFrame out[2]) const
+{
+    std::uint64_t framesPerRow = geom.framesPerRow();
+    pth_assert(framesPerRow == 2, "expected 8 KiB rows (2 frames each)");
+    for (std::uint64_t i = 0; i < framesPerRow; ++i) {
+        DramLocation loc{bank, row, i * kPageBytes};
+        out[i] = compose(loc) >> kPageShift;
+    }
+}
+
+} // namespace pth

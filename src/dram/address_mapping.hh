@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Physical-address to DRAM-location mapping.
+ *
+ * Models the reverse-engineered DRAMA-style mapping: the bank index is
+ * an XOR of low "bank tap" bits with higher row bits, the row index is
+ * the high bits, and the column is the low bits. The taps are chosen so
+ * that (as on the paper's SandyBridge machines) two addresses 256 KiB
+ * apart land in the same bank one row index apart — the property that
+ * makes the 2 * RowsSize * 512 virtual stride select L1PTEs that
+ * sandwich a victim row.
+ */
+
+#ifndef PTH_DRAM_ADDRESS_MAPPING_HH
+#define PTH_DRAM_ADDRESS_MAPPING_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/dram_config.hh"
+
+namespace pth
+{
+
+/** Decomposed location of one physical address in DRAM. */
+struct DramLocation
+{
+    unsigned bank = 0;          //!< global bank index
+    std::uint64_t row = 0;      //!< row index within the bank
+    std::uint64_t column = 0;   //!< byte offset within the row
+
+    bool operator==(const DramLocation &other) const = default;
+};
+
+/** Bijective physical-address <-> (bank, row, column) mapping. */
+class AddressMapping
+{
+  public:
+    explicit AddressMapping(const DramGeometry &geometry);
+
+    /** Decompose a physical address. */
+    DramLocation decompose(PhysAddr pa) const;
+
+    /** Recompose a physical address (inverse of decompose). */
+    PhysAddr compose(const DramLocation &loc) const;
+
+    /** Number of banks. */
+    unsigned banks() const { return geom.banks; }
+
+    /** Number of rows per bank. */
+    std::uint64_t rowsPerBank() const { return geom.rows(); }
+
+    /** Bytes per bank row. */
+    std::uint64_t rowBytes() const { return geom.rowBytes; }
+
+    /**
+     * All physical frames stored in (bank, row). Each 8 KiB bank row
+     * holds two 4 KiB frames.
+     */
+    void framesInRow(unsigned bank, std::uint64_t row, PhysFrame out[2])
+        const;
+
+  private:
+    DramGeometry geom;
+    unsigned bankBits;       //!< log2(banks)
+    unsigned rowOffsetBits;  //!< log2(rowBytes)
+    unsigned rowShift;       //!< first row-index bit
+};
+
+} // namespace pth
+
+#endif // PTH_DRAM_ADDRESS_MAPPING_HH

@@ -1,0 +1,162 @@
+#include "dram/dram.hh"
+
+#include "common/logging.hh"
+#include "mem/physical_memory.hh"
+
+namespace pth
+{
+
+Dram::Dram(const DramGeometry &geometry, const DramTiming &timing_,
+           const DisturbanceConfig &disturbance, PhysicalMemory &memory)
+    : map(geometry), timing(timing_), vuln(disturbance), mem(memory),
+      bankState(geometry.banks), refreshWindow(disturbance.refreshWindowCycles)
+{
+    pth_assert(geometry.rowBytes == 8192,
+               "weak-cell placement assumes 8 KiB rows");
+    pth_assert(refreshWindow > 0, "refresh window must be nonzero");
+}
+
+DramAccessResult
+Dram::access(PhysAddr pa, Cycles now)
+{
+    DramLocation loc = map.decompose(pa);
+    BankState &bank = bankState[loc.bank];
+    std::uint64_t epoch = now / refreshWindow;
+
+    DramAccessResult result{};
+    if (bank.open && bank.openRow == loc.row) {
+        result.latency = timing.rowHit;
+        result.rowHit = true;
+        ++rowHits;
+        return result;
+    }
+
+    result.latency = bank.open ? timing.rowConflict : timing.rowClosed;
+    result.activated = true;
+    bank.open = true;
+    bank.openRow = loc.row;
+    activate(loc.bank, loc.row, epoch);
+    return result;
+}
+
+void
+Dram::activate(unsigned bank, std::uint64_t row, std::uint64_t epoch)
+{
+    ++activations;
+    BankState &state = bankState[bank];
+    RowState &rs = state.rowActs[row];
+    if (rs.epoch != epoch) {
+        // Lazy refresh: the window rolled over, so the charge leaked
+        // into the neighbours has been restored.
+        rs.epoch = epoch;
+        rs.acts = 0;
+    }
+    ++rs.acts;
+
+    // Disturb the two neighbouring rows. A victim's per-window
+    // disturbance is the sum of its neighbours' activations.
+    for (long long delta : {-1ll, +1ll}) {
+        if (row == 0 && delta < 0)
+            continue;
+        std::uint64_t victim = row + static_cast<std::uint64_t>(delta);
+        if (victim >= map.rowsPerBank())
+            continue;
+        if (!vuln.rowIsWeak(bank, victim))
+            continue;
+        std::uint64_t disturbance =
+            actsInWindow(bank, victim - 1, epoch) +
+            (victim + 1 < map.rowsPerBank()
+                 ? actsInWindow(bank, victim + 1, epoch)
+                 : 0);
+        applyDisturbance(bank, victim, disturbance);
+    }
+}
+
+std::uint64_t
+Dram::actsInWindow(unsigned bank, std::uint64_t row,
+                   std::uint64_t epoch) const
+{
+    if (row >= map.rowsPerBank())
+        return 0;
+    const BankState &state = bankState[bank];
+    auto it = state.rowActs.find(row);
+    if (it == state.rowActs.end() || it->second.epoch != epoch)
+        return 0;
+    return it->second.acts;
+}
+
+void
+Dram::applyDisturbance(unsigned bank, std::uint64_t victimRow,
+                       std::uint64_t disturbance)
+{
+    for (const WeakCell &cell : vuln.weakCells(bank, victimRow)) {
+        if (cell.threshold > disturbance)
+            continue;
+        DramLocation loc{bank, victimRow, cell.byteInRow};
+        PhysAddr pa = map.compose(loc);
+        bool storedOne = (mem.read8(pa) >> cell.bitInByte) & 1;
+        // A true cell can only discharge (1 -> 0); an anti cell can
+        // only charge (0 -> 1). A cell whose stored bit already matches
+        // the flip destination cannot flip (again).
+        if (storedOne != cell.trueCell)
+            continue;
+        mem.flipBit(pa, cell.bitInByte);
+        FlipEvent ev{pa, cell.bitInByte, storedOne, bank, victimRow};
+        pendingFlips.push_back(ev);
+        ++flipsInjected;
+    }
+}
+
+std::vector<FlipEvent>
+Dram::hammerBulk(unsigned bank,
+                 const std::vector<std::uint64_t> &aggressorRows,
+                 std::uint64_t actsPerWindow, std::uint64_t windowCount)
+{
+    pth_assert(bank < map.banks(), "bank out of range");
+    std::vector<FlipEvent> flips;
+    if (windowCount == 0 || actsPerWindow == 0)
+        return flips;
+
+    // Collect candidate victims: every row adjacent to an aggressor.
+    std::vector<std::uint64_t> victims;
+    for (std::uint64_t row : aggressorRows) {
+        if (row > 0)
+            victims.push_back(row - 1);
+        if (row + 1 < map.rowsPerBank())
+            victims.push_back(row + 1);
+    }
+
+    std::size_t before = pendingFlips.size();
+    for (std::uint64_t victim : victims) {
+        std::uint64_t adjacency = 0;
+        for (std::uint64_t row : aggressorRows)
+            if (row + 1 == victim || (victim + 1 == row))
+                ++adjacency;
+        // The per-window disturbance is constant across windows, so a
+        // cell either flips in the first whole window or never.
+        applyDisturbance(bank, victim, adjacency * actsPerWindow);
+    }
+    flips.assign(pendingFlips.begin() +
+                     static_cast<std::ptrdiff_t>(before),
+                 pendingFlips.end());
+    return flips;
+}
+
+std::vector<FlipEvent>
+Dram::drainFlips()
+{
+    std::vector<FlipEvent> out;
+    out.swap(pendingFlips);
+    return out;
+}
+
+void
+Dram::reset()
+{
+    for (BankState &bank : bankState) {
+        bank.open = false;
+        bank.rowActs.clear();
+    }
+}
+
+} // namespace pth

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * DRAM device model: per-bank row buffers, access timing, and the
+ * rowhammer disturbance engine.
+ *
+ * Disturbance accounting is refresh-window accurate: every activation
+ * of a row adds one disturbance unit to its two neighbours, counters
+ * reset when the refresh window rolls over, and a weak cell flips when
+ * its per-window accumulated disturbance reaches its threshold while
+ * the stored bit matches the cell orientation. Flips are injected
+ * directly into the simulated physical memory, so corrupted page-table
+ * entries are observed by the page-table walker with no extra plumbing.
+ */
+
+#ifndef PTH_DRAM_DRAM_HH
+#define PTH_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/address_mapping.hh"
+#include "dram/dram_config.hh"
+#include "dram/vulnerability_model.hh"
+
+namespace pth
+{
+
+class PhysicalMemory;
+
+/** A bit flip injected by the disturbance model. */
+struct FlipEvent
+{
+    PhysAddr address;      //!< physical byte holding the flipped cell
+    unsigned bitInByte;    //!< flipped bit position
+    bool wasOne;           //!< value before the flip (true cell: 1 -> 0)
+    unsigned bank;         //!< victim bank
+    std::uint64_t row;     //!< victim row
+};
+
+/** Result of one DRAM access. */
+struct DramAccessResult
+{
+    Cycles latency;   //!< access latency in CPU cycles
+    bool rowHit;      //!< served from the open row buffer
+    bool activated;   //!< caused a row activation
+};
+
+/** The DRAM device. */
+class Dram
+{
+  public:
+    /**
+     * @param geometry Bank/row geometry.
+     * @param timing Access latencies.
+     * @param disturbance Rowhammer fault-model parameters.
+     * @param memory Functional backing store receiving bit flips.
+     */
+    Dram(const DramGeometry &geometry, const DramTiming &timing,
+         const DisturbanceConfig &disturbance, PhysicalMemory &memory);
+
+    /**
+     * Access (read or write) the line containing pa at simulated time
+     * now. Updates row buffers and disturbance counters and may inject
+     * bit flips.
+     */
+    DramAccessResult access(PhysAddr pa, Cycles now);
+
+    /**
+     * Apply a long hammering run analytically (measure-then-extrapolate
+     * fast path). Each aggressor row is activated actsPerWindow times
+     * in each of windowCount refresh windows.
+     *
+     * @param bank Bank holding the aggressor rows.
+     * @param aggressorRows Rows being hammered (1 or 2).
+     * @param actsPerWindow Activations of each aggressor per window.
+     * @param windowCount Number of whole refresh windows hammered.
+     * @return Flips injected (at most once per weak cell).
+     */
+    std::vector<FlipEvent> hammerBulk(
+        unsigned bank, const std::vector<std::uint64_t> &aggressorRows,
+        std::uint64_t actsPerWindow, std::uint64_t windowCount);
+
+    /** Address mapping in use. */
+    const AddressMapping &mapping() const { return map; }
+
+    /** Vulnerability model in use. */
+    const VulnerabilityModel &vulnerability() const { return vuln; }
+
+    /** Flips injected since the last drain. */
+    std::vector<FlipEvent> drainFlips();
+
+    /** Total flips injected over the device lifetime. */
+    std::uint64_t totalFlips() const { return flipsInjected; }
+
+    /** Total row activations. */
+    std::uint64_t totalActivations() const { return activations; }
+
+    /** Total row-buffer hits. */
+    std::uint64_t totalRowHits() const { return rowHits; }
+
+    /** Reset row buffers and disturbance counters (not flip history). */
+    void reset();
+
+  private:
+    struct RowState
+    {
+        std::uint64_t epoch = 0;   //!< refresh window of the counter
+        std::uint64_t acts = 0;    //!< activations in that window
+    };
+
+    struct BankState
+    {
+        bool open = false;
+        std::uint64_t openRow = 0;
+        std::unordered_map<std::uint64_t, RowState> rowActs;
+    };
+
+    /** Record an activation and run the neighbour disturbance check. */
+    void activate(unsigned bank, std::uint64_t row, std::uint64_t epoch);
+
+    /** Activations of (bank, row) within the given window. */
+    std::uint64_t actsInWindow(unsigned bank, std::uint64_t row,
+                               std::uint64_t epoch) const;
+
+    /**
+     * Flip every not-yet-flipped weak cell of the victim whose
+     * threshold is within the given per-window disturbance.
+     */
+    void applyDisturbance(unsigned bank, std::uint64_t victimRow,
+                          std::uint64_t disturbance);
+
+    AddressMapping map;
+    DramTiming timing;
+    VulnerabilityModel vuln;
+    PhysicalMemory &mem;
+
+    std::vector<BankState> bankState;
+    std::vector<FlipEvent> pendingFlips;
+    Cycles refreshWindow;
+
+    std::uint64_t activations = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t flipsInjected = 0;
+};
+
+} // namespace pth
+
+#endif // PTH_DRAM_DRAM_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Physical-frame allocators.
+ *
+ * BuddyAllocator mirrors the Linux buddy system's tendency to hand out
+ * *consecutive* physical pages under streaming allocation — the
+ * property the paper's pair-selection step exploits (Section IV-D).
+ * FrameListAllocator is a simple ordered free list used by defense
+ * zones whose frame sets are not contiguous (CTA true-cell rows,
+ * ZebRAM even rows).
+ */
+
+#ifndef PTH_KERNEL_BUDDY_ALLOCATOR_HH
+#define PTH_KERNEL_BUDDY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pth
+{
+
+/** Binary buddy allocator over a contiguous frame range. */
+class BuddyAllocator
+{
+  public:
+    /** Highest supported order (2^10 frames = 4 MiB blocks). */
+    static constexpr unsigned kMaxOrder = 10;
+
+    /**
+     * @param firstFrame First frame managed.
+     * @param frameCount Number of frames managed (any value; the range
+     *        is carved into power-of-two blocks).
+     */
+    BuddyAllocator(PhysFrame firstFrame, std::uint64_t frameCount);
+
+    /**
+     * Allocate a 2^order-frame block, lowest address first.
+     * @return First frame of the block, or kInvalidFrame when empty.
+     */
+    PhysFrame alloc(unsigned order = 0);
+
+    /** Free a block previously allocated with the same order. */
+    void free(PhysFrame frame, unsigned order = 0);
+
+    /** Frames currently free. */
+    std::uint64_t freeFrames() const { return nFree; }
+
+    /** Total frames managed. */
+    std::uint64_t totalFrames() const { return count; }
+
+    /** True when the frame lies inside the managed range. */
+    bool contains(PhysFrame frame) const;
+
+    /** First managed frame. */
+    PhysFrame base() const { return first; }
+
+  private:
+    PhysFrame buddyOf(PhysFrame frame, unsigned order) const;
+    void insertFree(PhysFrame frame, unsigned order);
+
+    PhysFrame first;
+    std::uint64_t count;
+    std::uint64_t nFree = 0;
+    std::vector<std::set<PhysFrame>> freeLists;  //!< per order
+};
+
+/** Ordered single-frame free list over an arbitrary frame set. */
+class FrameListAllocator
+{
+  public:
+    FrameListAllocator() = default;
+
+    /** Seed the allocator with a set of usable frames. */
+    explicit FrameListAllocator(std::vector<PhysFrame> frames);
+
+    /** Allocate the lowest-address free frame. */
+    PhysFrame alloc();
+
+    /** Return a frame to the pool. */
+    void free(PhysFrame frame);
+
+    /** Frames currently free. */
+    std::uint64_t freeFrames() const { return freeList.size(); }
+
+    /** True when the frame belongs to this allocator's universe. */
+    bool contains(PhysFrame frame) const;
+
+  private:
+    std::set<PhysFrame> freeList;
+    std::set<PhysFrame> universe;
+};
+
+} // namespace pth
+
+#endif // PTH_KERNEL_BUDDY_ALLOCATOR_HH

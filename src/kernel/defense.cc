@@ -1,0 +1,464 @@
+#include "kernel/defense.hh"
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "dram/address_mapping.hh"
+#include "dram/vulnerability_model.hh"
+
+namespace pth
+{
+
+std::string
+defenseKindName(DefenseKind kind)
+{
+    switch (kind) {
+      case DefenseKind::None:
+        return "none";
+      case DefenseKind::Catt:
+        return "CATT";
+      case DefenseKind::RipRh:
+        return "RIP-RH";
+      case DefenseKind::Cta:
+        return "CTA";
+      case DefenseKind::ZebRam:
+        return "ZebRAM";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** First frames are reserved for the kernel image / boot structures. */
+constexpr PhysFrame kReservedFrames = 256;
+
+/**
+ * Frame allocator that walks a cursor across [lo, hi) keeping only
+ * frames that satisfy a predicate. Freed frames are recycled first.
+ * Used by zones whose frame sets are large but cheaply enumerable
+ * (CTA's true-cell rows, ZebRAM's even rows).
+ */
+class CursorAllocator
+{
+  public:
+    CursorAllocator(PhysFrame lo_, PhysFrame hi_, bool descending_,
+                    std::function<bool(PhysFrame)> predicate)
+        : lo(lo_), hi(hi_), descending(descending_),
+          pred(std::move(predicate))
+    {
+        cursor = descending ? hi : lo;
+    }
+
+    PhysFrame
+    alloc()
+    {
+        if (!recycled.empty()) {
+            PhysFrame f = *recycled.begin();
+            recycled.erase(recycled.begin());
+            return f;
+        }
+        while (true) {
+            if (descending) {
+                if (cursor == lo)
+                    return kInvalidFrame;
+                --cursor;
+                if (pred(cursor))
+                    return cursor;
+            } else {
+                if (cursor == hi)
+                    return kInvalidFrame;
+                PhysFrame f = cursor++;
+                if (pred(f))
+                    return f;
+            }
+        }
+    }
+
+    void
+    free(PhysFrame frame)
+    {
+        recycled.insert(frame);
+    }
+
+    bool
+    inRange(PhysFrame frame) const
+    {
+        return frame >= lo && frame < hi && pred(frame);
+    }
+
+  private:
+    PhysFrame lo;
+    PhysFrame hi;
+    PhysFrame cursor;
+    bool descending;
+    std::function<bool(PhysFrame)> pred;
+    std::set<PhysFrame> recycled;
+};
+
+/** No defense: one buddy pool for everything. */
+class NoDefense : public Defense
+{
+  public:
+    explicit NoDefense(std::uint64_t totalFrames)
+        : pool(kReservedFrames, totalFrames - kReservedFrames)
+    {
+    }
+
+    std::string name() const override { return "none"; }
+
+    PhysFrame
+    alloc(AllocIntent, std::uint64_t) override
+    {
+        return pool.alloc();
+    }
+
+    void
+    free(PhysFrame frame, AllocIntent, std::uint64_t) override
+    {
+        pool.free(frame);
+    }
+
+    bool
+    frameAllowed(AllocIntent, PhysFrame frame) const override
+    {
+        return pool.contains(frame);
+    }
+
+    std::uint64_t
+    zoneFrames(AllocIntent) const override
+    {
+        return pool.totalFrames();
+    }
+
+  private:
+    BuddyAllocator pool;
+};
+
+/** CATT: kernel zone low, guard rows, user zone high. */
+class CattDefense : public Defense
+{
+  public:
+    CattDefense(const AddressMapping &mapping, std::uint64_t totalFrames)
+    {
+        // The kernel zone takes the low quarter; a full row-index
+        // stride of guard frames separates it from user memory, so no
+        // user-reachable row is adjacent to a kernel row.
+        std::uint64_t guardFrames =
+            mapping.rowBytes() * mapping.banks() / kPageBytes;
+        kernelEnd = kReservedFrames + (totalFrames / 4);
+        userStart = kernelEnd + guardFrames;
+        kernelPool = std::make_unique<BuddyAllocator>(
+            kReservedFrames, kernelEnd - kReservedFrames);
+        userPool = std::make_unique<BuddyAllocator>(
+            userStart, totalFrames - userStart);
+    }
+
+    std::string name() const override { return "CATT"; }
+
+    PhysFrame
+    alloc(AllocIntent intent, std::uint64_t) override
+    {
+        if (intent == AllocIntent::UserData)
+            return userPool->alloc();
+        PhysFrame f = kernelPool->alloc();
+        if (f != kInvalidFrame)
+            return f;
+        // Kernel zone exhausted: like the deployed CATT prototype, the
+        // allocator falls back to movable (user) memory rather than
+        // failing — the weakness Cheng et al. (CATTmew) identified and
+        // that the paper's Section IV-G1 attack provokes on purpose.
+        if (!warnedFallback) {
+            warn("CATT kernel zone exhausted; falling back to user zone");
+            warnedFallback = true;
+        }
+        return userPool->alloc();
+    }
+
+    void
+    free(PhysFrame frame, AllocIntent intent, std::uint64_t) override
+    {
+        if (intent == AllocIntent::UserData || frame >= userStart)
+            userPool->free(frame);
+        else
+            kernelPool->free(frame);
+    }
+
+    bool
+    frameAllowed(AllocIntent intent, PhysFrame frame) const override
+    {
+        if (intent == AllocIntent::UserData)
+            return frame >= userStart;
+        // Kernel intents: the dedicated zone, or the documented
+        // exhaustion fallback into user memory.
+        return frame >= kReservedFrames;
+    }
+
+    std::uint64_t
+    zoneFrames(AllocIntent intent) const override
+    {
+        return intent == AllocIntent::UserData ? userPool->totalFrames()
+                                               : kernelPool->totalFrames();
+    }
+
+  private:
+    PhysFrame kernelEnd;
+    PhysFrame userStart;
+    bool warnedFallback = false;
+    std::unique_ptr<BuddyAllocator> kernelPool;
+    std::unique_ptr<BuddyAllocator> userPool;
+};
+
+/** RIP-RH: per-process user regions; unprotected kernel zone. */
+class RipRhDefense : public Defense
+{
+  public:
+    RipRhDefense(const AddressMapping &mapping, std::uint64_t totalFrames)
+        : map(mapping)
+    {
+        kernelEnd = kReservedFrames + (totalFrames / 4);
+        userStart = kernelEnd;
+        // One region per user; enough regions for realistic process
+        // counts, but never so many that a region cannot hold a
+        // process's working set (>= 32 MiB each).
+        partitions_n = 64;
+        while (partitions_n > 4 &&
+               (totalFrames - userStart) / partitions_n < 8192)
+            partitions_n /= 2;
+        userFramesPerPartition = (totalFrames - userStart) / partitions_n;
+        // Keep one guard row between neighbouring user partitions.
+        guardFrames = mapping.rowBytes() * mapping.banks() / kPageBytes;
+        kernelPool = std::make_unique<BuddyAllocator>(
+            kReservedFrames, kernelEnd - kReservedFrames);
+    }
+
+    std::string name() const override { return "RIP-RH"; }
+
+    PhysFrame
+    alloc(AllocIntent intent, std::uint64_t owner) override
+    {
+        if (intent != AllocIntent::UserData) {
+            PhysFrame f = kernelPool->alloc();
+            if (f != kInvalidFrame)
+                return f;
+            // RIP-RH protects user-user isolation only; the kernel
+            // spills into user memory under pressure.
+            return partitionFor(owner).alloc();
+        }
+        return partitionFor(owner).alloc();
+    }
+
+    void
+    free(PhysFrame frame, AllocIntent intent, std::uint64_t owner) override
+    {
+        if (intent != AllocIntent::UserData && frame < kernelEnd)
+            kernelPool->free(frame);
+        else
+            partitionFor(owner).free(frame);
+    }
+
+    bool
+    frameAllowed(AllocIntent intent, PhysFrame frame) const override
+    {
+        if (intent == AllocIntent::UserData)
+            return frame >= userStart;
+        return frame >= kReservedFrames;
+    }
+
+  private:
+    BuddyAllocator &
+    partitionFor(std::uint64_t owner)
+    {
+        unsigned idx = static_cast<unsigned>(owner % partitions_n);
+        auto it = partitions.find(idx);
+        if (it == partitions.end()) {
+            PhysFrame start = userStart + idx * userFramesPerPartition;
+            std::uint64_t usable = userFramesPerPartition > guardFrames
+                                       ? userFramesPerPartition - guardFrames
+                                       : userFramesPerPartition;
+            it = partitions
+                     .emplace(idx, std::make_unique<BuddyAllocator>(start,
+                                                                    usable))
+                     .first;
+        }
+        return *it->second;
+    }
+
+    std::uint64_t zoneFramesImpl(AllocIntent intent) const
+    {
+        return intent == AllocIntent::UserData ? userFramesPerPartition
+                                               : kernelPool->totalFrames();
+    }
+
+  public:
+    std::uint64_t
+    zoneFrames(AllocIntent intent) const override
+    {
+        return zoneFramesImpl(intent);
+    }
+
+  private:
+    const AddressMapping &map;
+    PhysFrame kernelEnd;
+    PhysFrame userStart;
+    unsigned partitions_n;
+    std::uint64_t userFramesPerPartition;
+    std::uint64_t guardFrames;
+    std::unique_ptr<BuddyAllocator> kernelPool;
+    std::unordered_map<unsigned, std::unique_ptr<BuddyAllocator>> partitions;
+};
+
+/** CTA: L1PTs descend from the top of memory in true-cell-only rows. */
+class CtaDefense : public Defense
+{
+  public:
+    CtaDefense(const AddressMapping &mapping,
+               const VulnerabilityModel &vulnerability,
+               std::uint64_t totalFrames)
+        : map(mapping), vuln(vulnerability)
+    {
+        // The top 3/8 of physical memory is reserved for L1PTs; rows
+        // containing anti cells are screened out (CTA's memory test).
+        ptZoneStart = totalFrames - (totalFrames * 3) / 8;
+        ptPool = std::make_unique<CursorAllocator>(
+            ptZoneStart, totalFrames, /*descending=*/true,
+            [this](PhysFrame f) { return rowIsTrueCellOnly(f); });
+        mainPool = std::make_unique<BuddyAllocator>(
+            kReservedFrames, ptZoneStart - kReservedFrames);
+    }
+
+    std::string name() const override { return "CTA"; }
+
+    PhysFrame
+    alloc(AllocIntent intent, std::uint64_t) override
+    {
+        if (intent == AllocIntent::PageTableL1) {
+            PhysFrame f = ptPool->alloc();
+            if (f != kInvalidFrame)
+                return f;
+            // Zone exhausted: CTA falls back to refusing, we fail hard
+            // in the caller via kInvalidFrame.
+            return kInvalidFrame;
+        }
+        return mainPool->alloc();
+    }
+
+    void
+    free(PhysFrame frame, AllocIntent intent, std::uint64_t) override
+    {
+        if (intent == AllocIntent::PageTableL1)
+            ptPool->free(frame);
+        else
+            mainPool->free(frame);
+    }
+
+    bool
+    frameAllowed(AllocIntent intent, PhysFrame frame) const override
+    {
+        if (intent == AllocIntent::PageTableL1)
+            return frame >= ptZoneStart && rowIsTrueCellOnly(frame);
+        return frame >= kReservedFrames && frame < ptZoneStart;
+    }
+
+    /** First frame of the protected L1PT zone (for the exploit check). */
+    PhysFrame ptZoneFirstFrame() const { return ptZoneStart; }
+
+    std::uint64_t
+    zoneFrames(AllocIntent intent) const override
+    {
+        if (intent == AllocIntent::PageTableL1)
+            return 0;  // cursor-based; capacity not meaningfully bounded
+        return mainPool->totalFrames();
+    }
+
+  private:
+    bool
+    rowIsTrueCellOnly(PhysFrame frame) const
+    {
+        DramLocation loc = map.decompose(frame << kPageShift);
+        return vuln.rowHasOnlyTrueCells(loc.bank, loc.row);
+    }
+
+    const AddressMapping &map;
+    const VulnerabilityModel &vuln;
+    PhysFrame ptZoneStart;
+    std::unique_ptr<CursorAllocator> ptPool;
+    std::unique_ptr<BuddyAllocator> mainPool;
+};
+
+/** ZebRAM: only even row indices hold data; odd rows are guards. */
+class ZebRamDefense : public Defense
+{
+  public:
+    ZebRamDefense(const AddressMapping &mapping, std::uint64_t totalFrames)
+        : map(mapping), total(totalFrames)
+    {
+        pool = std::make_unique<CursorAllocator>(
+            kReservedFrames, totalFrames, /*descending=*/false,
+            [this](PhysFrame f) { return rowIsEven(f); });
+    }
+
+    std::string name() const override { return "ZebRAM"; }
+
+    PhysFrame
+    alloc(AllocIntent, std::uint64_t) override
+    {
+        return pool->alloc();
+    }
+
+    void
+    free(PhysFrame frame, AllocIntent, std::uint64_t) override
+    {
+        pool->free(frame);
+    }
+
+    bool
+    frameAllowed(AllocIntent, PhysFrame frame) const override
+    {
+        return frame >= kReservedFrames && rowIsEven(frame);
+    }
+
+    std::uint64_t
+    zoneFrames(AllocIntent) const override
+    {
+        return total / 2;
+    }
+
+  private:
+    bool
+    rowIsEven(PhysFrame frame) const
+    {
+        return (map.decompose(frame << kPageShift).row & 1) == 0;
+    }
+
+    const AddressMapping &map;
+    std::uint64_t total;
+    std::unique_ptr<CursorAllocator> pool;
+};
+
+} // namespace
+
+std::unique_ptr<Defense>
+Defense::create(DefenseKind kind, const AddressMapping &mapping,
+                const VulnerabilityModel &vulnerability,
+                std::uint64_t totalFrames, std::uint64_t)
+{
+    pth_assert(totalFrames > 2 * kReservedFrames, "memory too small");
+    switch (kind) {
+      case DefenseKind::None:
+        return std::make_unique<NoDefense>(totalFrames);
+      case DefenseKind::Catt:
+        return std::make_unique<CattDefense>(mapping, totalFrames);
+      case DefenseKind::RipRh:
+        return std::make_unique<RipRhDefense>(mapping, totalFrames);
+      case DefenseKind::Cta:
+        return std::make_unique<CtaDefense>(mapping, vulnerability,
+                                            totalFrames);
+      case DefenseKind::ZebRam:
+        return std::make_unique<ZebRamDefense>(mapping, totalFrames);
+    }
+    panic("unknown defense kind");
+}
+
+} // namespace pth

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Software-only rowhammer defenses as frame-placement policies.
+ *
+ * Each defense decides which physical frame backs an allocation of a
+ * given intent, implementing the isolation contract its paper
+ * describes:
+ *
+ *  - CATT (Brasser et al.) partitions memory into a kernel zone and a
+ *    user zone separated by guard rows: user-reachable rows are never
+ *    adjacent to kernel rows.
+ *  - RIP-RH (Bock et al.) segregates each user process into its own
+ *    DRAM region; the kernel is not protected.
+ *  - CTA (Wu et al.) additionally confines Level-1 page tables to the
+ *    *top* of physical memory in rows screened to contain only true
+ *    cells, so any flip lowers a PTE's pointer and can never redirect
+ *    it into the L1PT region.
+ *  - ZebRAM (Konoth et al.) uses only every second row for data and
+ *    keeps odd rows as guards.
+ *
+ * PThammer's claim, which the benches reproduce, is that placement
+ * defenses do not help when the *processor* performs the access.
+ */
+
+#ifndef PTH_KERNEL_DEFENSE_HH
+#define PTH_KERNEL_DEFENSE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/types.hh"
+#include "kernel/buddy_allocator.hh"
+
+namespace pth
+{
+
+class AddressMapping;
+class VulnerabilityModel;
+
+/** What an allocation will hold; drives defense placement. */
+enum class AllocIntent
+{
+    UserData,        //!< user-space anonymous/shared pages
+    PageTableL1,     //!< Level-1 page-table pages (the attack target)
+    PageTableUpper,  //!< PML4/PDPT/PD pages
+    KernelData,      //!< other kernel objects (e.g. struct cred slabs)
+};
+
+/** Selectable defense policies. */
+enum class DefenseKind { None, Catt, RipRh, Cta, ZebRam };
+
+/** Human-readable defense name. */
+std::string defenseKindName(DefenseKind kind);
+
+/** Frame-placement policy interface. */
+class Defense
+{
+  public:
+    virtual ~Defense() = default;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Allocate one frame.
+     * @param intent What the frame will hold.
+     * @param owner Owning process id (used by RIP-RH).
+     * @return Frame, or kInvalidFrame when the zone is exhausted.
+     */
+    virtual PhysFrame alloc(AllocIntent intent, std::uint64_t owner) = 0;
+
+    /** Free a frame previously allocated with the same intent/owner. */
+    virtual void free(PhysFrame frame, AllocIntent intent,
+                      std::uint64_t owner) = 0;
+
+    /**
+     * Placement predicate, used by property tests: would this policy
+     * ever place an allocation of this intent in this frame?
+     */
+    virtual bool frameAllowed(AllocIntent intent, PhysFrame frame)
+        const = 0;
+
+    /**
+     * Approximate zone capacity (frames) for an intent; lets the
+     * CATT-exhaustion counter-technique size its allocations.
+     */
+    virtual std::uint64_t zoneFrames(AllocIntent intent) const = 0;
+
+    /** Factory wiring a policy to the machine's DRAM layout. */
+    static std::unique_ptr<Defense> create(
+        DefenseKind kind, const AddressMapping &mapping,
+        const VulnerabilityModel &vulnerability, std::uint64_t totalFrames,
+        std::uint64_t seed);
+};
+
+} // namespace pth
+
+#endif // PTH_KERNEL_DEFENSE_HH

@@ -1,0 +1,103 @@
+#include "mem/phys_page.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace pth
+{
+
+PhysPage::Kind
+PhysPage::kind() const
+{
+    if (dense)
+        return Kind::Dense;
+    return pattern ? Kind::Pattern : Kind::Zero;
+}
+
+std::uint64_t
+PhysPage::read64(std::uint64_t offset) const
+{
+    pth_assert(offset + 8 <= kPageBytes && offset % 8 == 0,
+               "unaligned page read at %llu",
+               static_cast<unsigned long long>(offset));
+    if (dense) {
+        std::uint64_t v;
+        std::memcpy(&v, dense->data() + offset, 8);
+        return v;
+    }
+    return pattern;
+}
+
+void
+PhysPage::write64(std::uint64_t offset, std::uint64_t value)
+{
+    pth_assert(offset + 8 <= kPageBytes && offset % 8 == 0,
+               "unaligned page write at %llu",
+               static_cast<unsigned long long>(offset));
+    if (!dense) {
+        if (value == pattern)
+            return;
+        densify();
+    }
+    std::memcpy(dense->data() + offset, &value, 8);
+}
+
+std::uint8_t
+PhysPage::read8(std::uint64_t offset) const
+{
+    pth_assert(offset < kPageBytes, "page read out of range");
+    if (dense)
+        return (*dense)[offset];
+    return static_cast<std::uint8_t>(pattern >> (8 * (offset % 8)));
+}
+
+void
+PhysPage::write8(std::uint64_t offset, std::uint8_t value)
+{
+    pth_assert(offset < kPageBytes, "page write out of range");
+    if (!dense) {
+        if (read8(offset) == value)
+            return;
+        densify();
+    }
+    (*dense)[offset] = value;
+}
+
+void
+PhysPage::fillPattern(std::uint64_t value)
+{
+    dense.reset();
+    pattern = value;
+}
+
+std::uint8_t
+PhysPage::flipBit(std::uint64_t offset, unsigned bitPos)
+{
+    pth_assert(offset < kPageBytes && bitPos < 8, "flip out of range");
+    std::uint8_t next =
+        static_cast<std::uint8_t>(read8(offset) ^ (1u << bitPos));
+    write8(offset, next);
+    return next;
+}
+
+bool
+PhysPage::isZero() const
+{
+    if (!dense)
+        return pattern == 0;
+    for (std::uint8_t b : *dense)
+        if (b)
+            return false;
+    return true;
+}
+
+void
+PhysPage::densify()
+{
+    dense = std::make_unique<std::array<std::uint8_t, kPageBytes>>();
+    for (std::uint64_t off = 0; off < kPageBytes; off += 8)
+        std::memcpy(dense->data() + off, &pattern, 8);
+}
+
+} // namespace pth

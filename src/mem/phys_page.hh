@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Compressed representation of one simulated physical page.
+ *
+ * The attack sprays gigabytes of Level-1 page tables whose 512 entries
+ * all hold the same PTE value (they map the same shared user frame), so
+ * a constant-pattern representation keeps host memory proportional to
+ * the number of pages rather than their content. A page is densified
+ * only when heterogeneous data or a bit flip forces it.
+ */
+
+#ifndef PTH_MEM_PHYS_PAGE_HH
+#define PTH_MEM_PHYS_PAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace pth
+{
+
+/** One 4 KiB simulated physical page with copy-on-write densification. */
+class PhysPage
+{
+  public:
+    /** Representation currently backing the page. */
+    enum class Kind { Zero, Pattern, Dense };
+
+    /** Create an all-zero page. */
+    PhysPage() = default;
+
+    /** Current representation (observable for tests / memory audits). */
+    Kind kind() const;
+
+    /** Read the aligned 64-bit word at byte offset (offset % 8 == 0). */
+    std::uint64_t read64(std::uint64_t offset) const;
+
+    /** Write the aligned 64-bit word at byte offset. */
+    void write64(std::uint64_t offset, std::uint64_t value);
+
+    /** Read one byte. */
+    std::uint8_t read8(std::uint64_t offset) const;
+
+    /** Write one byte. */
+    void write8(std::uint64_t offset, std::uint8_t value);
+
+    /**
+     * Fill the whole page with a repeating 64-bit pattern. This is the
+     * cheap path used when populating sprayed L1PT pages.
+     */
+    void fillPattern(std::uint64_t value);
+
+    /**
+     * Flip a single bit.
+     *
+     * @param offset Byte offset within the page.
+     * @param bitPos Bit position within that byte (0-7).
+     * @return The new value of the byte.
+     */
+    std::uint8_t flipBit(std::uint64_t offset, unsigned bitPos);
+
+    /** True when every byte is zero. */
+    bool isZero() const;
+
+  private:
+    /** Convert to the dense representation. */
+    void densify();
+
+    std::uint64_t pattern = 0;
+    std::unique_ptr<std::array<std::uint8_t, kPageBytes>> dense;
+};
+
+} // namespace pth
+
+#endif // PTH_MEM_PHYS_PAGE_HH

@@ -1,0 +1,86 @@
+#include "mem/physical_memory.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace pth
+{
+
+PhysicalMemory::PhysicalMemory(std::uint64_t sizeBytes) : bytes(sizeBytes)
+{
+    pth_assert(sizeBytes >= kPageBytes && sizeBytes % kPageBytes == 0,
+               "physical memory size must be page aligned");
+}
+
+void
+PhysicalMemory::checkRange(PhysAddr pa) const
+{
+    pth_assert(pa < bytes, "physical access 0x%llx beyond memory end 0x%llx",
+               static_cast<unsigned long long>(pa),
+               static_cast<unsigned long long>(bytes));
+}
+
+std::uint64_t
+PhysicalMemory::read64(PhysAddr pa) const
+{
+    checkRange(pa);
+    const PhysPage *page = pageIfPresent(pa >> kPageShift);
+    return page ? page->read64(pa & (kPageBytes - 1)) : 0;
+}
+
+void
+PhysicalMemory::write64(PhysAddr pa, std::uint64_t value)
+{
+    checkRange(pa);
+    pageFor(pa >> kPageShift).write64(pa & (kPageBytes - 1), value);
+}
+
+std::uint8_t
+PhysicalMemory::read8(PhysAddr pa) const
+{
+    checkRange(pa);
+    const PhysPage *page = pageIfPresent(pa >> kPageShift);
+    return page ? page->read8(pa & (kPageBytes - 1)) : 0;
+}
+
+void
+PhysicalMemory::write8(PhysAddr pa, std::uint8_t value)
+{
+    checkRange(pa);
+    pageFor(pa >> kPageShift).write8(pa & (kPageBytes - 1), value);
+}
+
+void
+PhysicalMemory::fillFramePattern(PhysFrame frame, std::uint64_t value)
+{
+    checkRange(frame << kPageShift);
+    pageFor(frame).fillPattern(value);
+}
+
+void
+PhysicalMemory::flipBit(PhysAddr pa, unsigned bitPos)
+{
+    checkRange(pa);
+    pageFor(pa >> kPageShift).flipBit(pa & (kPageBytes - 1), bitPos);
+}
+
+bool
+PhysicalMemory::isMaterialized(PhysFrame frame) const
+{
+    return pages.find(frame) != pages.end();
+}
+
+PhysPage &
+PhysicalMemory::pageFor(PhysFrame frame)
+{
+    return pages[frame];
+}
+
+const PhysPage *
+PhysicalMemory::pageIfPresent(PhysFrame frame) const
+{
+    auto it = pages.find(frame);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+} // namespace pth

@@ -1,0 +1,89 @@
+#include "mmu/mmu.hh"
+
+#include "cache/cache_hierarchy.hh"
+#include "common/logging.hh"
+#include "mem/physical_memory.hh"
+
+namespace pth
+{
+
+Mmu::Mmu(const TlbConfig &tlbConfig, const PscConfig &pscConfig,
+         PhysicalMemory &memory, CacheHierarchy &caches)
+    : tlbs(tlbConfig), pscs(pscConfig), ptWalker(memory, caches, pscs)
+{
+}
+
+void
+Mmu::setRoot(PhysFrame root)
+{
+    cr3 = root;
+    flushTranslationCaches();
+}
+
+void
+Mmu::flushTranslationCaches()
+{
+    tlbs.flushAll();
+    pscs.flushAll();
+}
+
+void
+Mmu::invalidatePage(VirtAddr va)
+{
+    tlbs.invalidate(va >> kPageShift, false);
+    tlbs.invalidate(va >> kSuperPageShift, true);
+}
+
+TranslateResult
+Mmu::translate(VirtAddr va, Cycles now)
+{
+    ++pmc.tlbLookups;
+    TranslateResult result;
+
+    // Probe the 4 KiB translation, then the 2 MiB one.
+    TlbLookupResult hit4k = tlbs.lookup(va >> kPageShift, false);
+    if (hit4k.hit) {
+        result.ok = true;
+        result.latency = hit4k.latency;
+        result.pa = (hit4k.entry.pfn << kPageShift) | (va & (kPageBytes - 1));
+        return result;
+    }
+    TlbLookupResult hit2m = tlbs.lookup(va >> kSuperPageShift, true);
+    if (hit2m.hit) {
+        result.ok = true;
+        result.huge = true;
+        result.latency = std::max(hit4k.latency, hit2m.latency);
+        PhysAddr base = hit2m.entry.pfn << kPageShift;
+        result.pa = base + (va & (kSuperPageBytes - 1));
+        return result;
+    }
+
+    // TLB miss: hardware walk.
+    ++pmc.dtlbLoadMissesWalk;
+    ++pmc.pageWalks;
+    result.causedWalk = true;
+    result.latency = hit4k.latency;
+
+    WalkResult walk = ptWalker.walk(cr3, va, now + result.latency);
+    result.latency += walk.latency;
+    result.walkStartLevel = walk.startLevel;
+    result.leafFromDram = walk.leafFromDram;
+    if (!walk.ok)
+        return result;
+
+    result.ok = true;
+    result.huge = walk.huge;
+    if (walk.huge) {
+        TlbEntry entry{va >> kSuperPageShift, walk.frame, true};
+        tlbs.insert(entry);
+        PhysAddr base = walk.frame << kPageShift;
+        result.pa = base + (va & (kSuperPageBytes - 1));
+    } else {
+        TlbEntry entry{va >> kPageShift, walk.frame, false};
+        tlbs.insert(entry);
+        result.pa = (walk.frame << kPageShift) | (va & (kPageBytes - 1));
+    }
+    return result;
+}
+
+} // namespace pth

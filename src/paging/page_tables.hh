@@ -1,0 +1,98 @@
+/**
+ * @file
+ * One address space's 4-level x86-64 page tables, stored *in* the
+ * simulated physical memory so that DRAM bit flips corrupt translations
+ * with no extra plumbing.
+ */
+
+#ifndef PTH_PAGING_PAGE_TABLES_HH
+#define PTH_PAGING_PAGE_TABLES_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "paging/pte.hh"
+
+namespace pth
+{
+
+class PhysicalMemory;
+
+/** Functional (timing-free) walk outcome. */
+struct FunctionalTranslation
+{
+    PhysFrame frame = 0;   //!< 4 KiB frame (or first frame of 2 MiB page)
+    bool huge = false;
+};
+
+/** Page tables for one process. */
+class PageTables
+{
+  public:
+    /**
+     * Allocator callback invoked when a new page-table page of the
+     * given level is needed; returns the frame to use. This is where
+     * the kernel's defense policy (CATT/CTA/...) decides placement.
+     */
+    using FrameSource = std::function<PhysFrame(PtLevel)>;
+
+    PageTables(PhysicalMemory &memory, FrameSource allocator);
+
+    /** CR3: frame of the PML4 table. */
+    PhysFrame root() const { return rootFrame; }
+
+    /** Map one 4 KiB page. */
+    void map4k(VirtAddr va, PhysFrame frame);
+
+    /**
+     * Map count consecutive 4 KiB pages, all pointing at the *same*
+     * frame (the paper's spraying pattern). Whole L1PT pages filled
+     * this way use the compressed constant-pattern representation.
+     */
+    void mapRange4kSameFrame(VirtAddr vaStart, std::uint64_t count,
+                             PhysFrame frame);
+
+    /** Map one 2 MiB superpage (va and frame 2 MiB-aligned). */
+    void map2m(VirtAddr va, PhysFrame firstFrame);
+
+    /** Remove a 4 KiB mapping (entry cleared; tables not freed). */
+    void unmap4k(VirtAddr va);
+
+    /** Timing-free walk used by the kernel and by test oracles. */
+    std::optional<FunctionalTranslation> translate(VirtAddr va) const;
+
+    /**
+     * Physical address of the Level-1 PTE that maps va. This is what
+     * the paper's evaluation-only kernel module exposes; the attacker
+     * never calls it.
+     */
+    std::optional<PhysAddr> l1pteAddress(VirtAddr va) const;
+
+    /** Frame of the L1 page table covering va, if present. */
+    std::optional<PhysFrame> l1ptFrame(VirtAddr va) const;
+
+    /** Every page-table page frame owned by this address space. */
+    const std::vector<PhysFrame> &tableFrames() const { return frames; }
+
+  private:
+    /** Walk to the table at the given level, allocating as needed. */
+    PhysFrame tableFor(VirtAddr va, PtLevel level);
+
+    /** Read the entry for va at level from a given table frame. */
+    std::uint64_t readEntry(PhysFrame table, VirtAddr va,
+                            PtLevel level) const;
+    void writeEntry(PhysFrame table, VirtAddr va, PtLevel level,
+                    std::uint64_t entry);
+
+    PhysicalMemory &mem;
+    FrameSource alloc;
+    PhysFrame rootFrame;
+    std::vector<PhysFrame> frames;
+};
+
+} // namespace pth
+
+#endif // PTH_PAGING_PAGE_TABLES_HH

@@ -1,0 +1,126 @@
+#include "paging/paging_structure_cache.hh"
+
+#include "common/logging.hh"
+
+namespace pth
+{
+
+PagingStructureCache::PagingStructureCache(unsigned entries)
+    : capacity(entries), slots(entries)
+{
+    pth_assert(entries >= 1, "PSC needs at least one entry");
+}
+
+std::optional<PhysFrame>
+PagingStructureCache::lookup(std::uint64_t tag)
+{
+    for (Slot &slot : slots) {
+        if (slot.valid && slot.tag == tag) {
+            slot.stamp = ++tick;
+            return slot.frame;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+PagingStructureCache::contains(std::uint64_t tag) const
+{
+    for (const Slot &slot : slots)
+        if (slot.valid && slot.tag == tag)
+            return true;
+    return false;
+}
+
+void
+PagingStructureCache::insert(std::uint64_t tag, PhysFrame frame)
+{
+    Slot *victim = nullptr;
+    for (Slot &slot : slots) {
+        if (slot.valid && slot.tag == tag) {
+            victim = &slot;
+            break;
+        }
+        if (!slot.valid && !victim)
+            victim = &slot;
+    }
+    if (!victim) {
+        victim = &slots[0];
+        for (Slot &slot : slots)
+            if (slot.stamp < victim->stamp)
+                victim = &slot;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->frame = frame;
+    victim->stamp = ++tick;
+}
+
+void
+PagingStructureCache::flushAll()
+{
+    for (Slot &slot : slots)
+        slot.valid = false;
+}
+
+unsigned
+PagingStructureCache::validEntries() const
+{
+    unsigned count = 0;
+    for (const Slot &slot : slots)
+        if (slot.valid)
+            ++count;
+    return count;
+}
+
+PagingStructureCaches::PagingStructureCaches(const PscConfig &config)
+    : pml4Cache(config.pml4Entries), pdpteCache(config.pdpteEntries),
+      pdeCache(config.pdeEntries)
+{
+}
+
+std::uint64_t
+PagingStructureCaches::tagFor(VirtAddr va, PtLevel level)
+{
+    switch (level) {
+      case PtLevel::Pml4e:
+        return va >> 39;
+      case PtLevel::Pdpte:
+        return va >> 30;
+      case PtLevel::Pde:
+        return va >> 21;
+      default:
+        panic("no paging-structure cache for level 1");
+    }
+}
+
+PagingStructureCache &
+PagingStructureCaches::level(PtLevel level)
+{
+    switch (level) {
+      case PtLevel::Pml4e:
+        return pml4Cache;
+      case PtLevel::Pdpte:
+        return pdpteCache;
+      case PtLevel::Pde:
+        return pdeCache;
+      default:
+        panic("no paging-structure cache for level 1");
+    }
+}
+
+const PagingStructureCache &
+PagingStructureCaches::level(PtLevel level) const
+{
+    return const_cast<PagingStructureCaches *>(this)->level(level);
+}
+
+void
+PagingStructureCaches::flushAll()
+{
+    pml4Cache.flushAll();
+    pdpteCache.flushAll();
+    pdeCache.flushAll();
+}
+
+} // namespace pth

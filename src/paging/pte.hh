@@ -1,0 +1,83 @@
+/**
+ * @file
+ * x86-64 page-table entry encoding helpers.
+ *
+ * Only the fields the simulation needs are modelled: present (bit 0),
+ * writable (bit 1), user (bit 2), page-size (bit 7, PDE level) and the
+ * physical frame number (bits 12-47). Rowhammer flips land in real PTE
+ * bit positions, so a flip in the PFN field redirects a mapping exactly
+ * as in the paper's exploit.
+ */
+
+#ifndef PTH_PAGING_PTE_HH
+#define PTH_PAGING_PTE_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace pth
+{
+
+/** Page-table levels, numbered as in the paper (level 1 holds PTEs). */
+enum class PtLevel : unsigned { Pte = 1, Pde = 2, Pdpte = 3, Pml4e = 4 };
+
+inline constexpr std::uint64_t kPtePresent = 1ull << 0;
+inline constexpr std::uint64_t kPteWritable = 1ull << 1;
+inline constexpr std::uint64_t kPteUser = 1ull << 2;
+inline constexpr std::uint64_t kPteHuge = 1ull << 7;
+
+/** First bit of the PFN field. */
+inline constexpr unsigned kPteFrameLo = 12;
+
+/** Last bit of the PFN field. */
+inline constexpr unsigned kPteFrameHi = 47;
+
+/** Build an entry pointing at a frame. */
+constexpr std::uint64_t
+makePte(PhysFrame frame, bool user = true, bool writable = true,
+        bool huge = false)
+{
+    std::uint64_t e = kPtePresent | (frame << kPteFrameLo);
+    if (user)
+        e |= kPteUser;
+    if (writable)
+        e |= kPteWritable;
+    if (huge)
+        e |= kPteHuge;
+    return e;
+}
+
+/** Frame number stored in an entry. */
+constexpr PhysFrame
+pteFrame(std::uint64_t entry)
+{
+    return bits(entry, kPteFrameHi, kPteFrameLo);
+}
+
+/** Present bit. */
+constexpr bool
+ptePresent(std::uint64_t entry)
+{
+    return entry & kPtePresent;
+}
+
+/** Page-size bit (2 MiB mapping when set in a PDE). */
+constexpr bool
+pteHuge(std::uint64_t entry)
+{
+    return entry & kPteHuge;
+}
+
+/** Index of va into the table at the given level (9 bits per level). */
+constexpr std::uint64_t
+pteIndex(VirtAddr va, PtLevel level)
+{
+    unsigned shift = 12 + 9 * (static_cast<unsigned>(level) - 1);
+    return (va >> shift) & 0x1ff;
+}
+
+} // namespace pth
+
+#endif // PTH_PAGING_PTE_HH

@@ -1,0 +1,125 @@
+#include "tlb/tlb.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace pth
+{
+
+Tlb::Tlb(const TlbLevelConfig &config)
+    : cfg(config), slots(config.sets * config.ways),
+      policy(ReplacementPolicy::create(config.replacement, config.sets,
+                                       config.ways,
+                                       mix64(config.seed ^ (config.sets * 7 + config.ways))))
+{
+    pth_assert(isPow2(cfg.sets), "TLB sets must be a power of two");
+}
+
+std::uint64_t
+Tlb::setOf(VirtPage vpn) const
+{
+    // Linear mapping: low vpn bits select the set (Gras et al.).
+    return vpn & (cfg.sets - 1);
+}
+
+Tlb::Slot &
+Tlb::slotAt(std::uint64_t set, unsigned way)
+{
+    return slots[set * cfg.ways + way];
+}
+
+const Tlb::Slot &
+Tlb::slotAt(std::uint64_t set, unsigned way) const
+{
+    return slots[set * cfg.ways + way];
+}
+
+std::optional<TlbEntry>
+Tlb::lookup(VirtPage vpn, bool huge)
+{
+    std::uint64_t set = setOf(vpn);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Slot &slot = slotAt(set, w);
+        if (slot.valid && slot.entry.vpn == vpn &&
+            slot.entry.huge == huge) {
+            policy->touch(set, w);
+            return slot.entry;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+Tlb::contains(VirtPage vpn, bool huge) const
+{
+    std::uint64_t set = setOf(vpn);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        const Slot &slot = slotAt(set, w);
+        if (slot.valid && slot.entry.vpn == vpn && slot.entry.huge == huge)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::insert(const TlbEntry &entry)
+{
+    std::uint64_t set = setOf(entry.vpn);
+
+    // Refresh in place when already cached.
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Slot &slot = slotAt(set, w);
+        if (slot.valid && slot.entry.vpn == entry.vpn &&
+            slot.entry.huge == entry.huge) {
+            slot.entry = entry;
+            policy->touch(set, w);
+            return;
+        }
+    }
+
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Slot &slot = slotAt(set, w);
+        if (!slot.valid) {
+            slot.valid = true;
+            slot.entry = entry;
+            policy->insert(set, w);
+            return;
+        }
+    }
+
+    unsigned w = policy->victim(set);
+    Slot &slot = slotAt(set, w);
+    slot.entry = entry;
+    policy->insert(set, w);
+}
+
+void
+Tlb::invalidate(VirtPage vpn, bool huge)
+{
+    std::uint64_t set = setOf(vpn);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Slot &slot = slotAt(set, w);
+        if (slot.valid && slot.entry.vpn == vpn && slot.entry.huge == huge)
+            slot.valid = false;
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    for (Slot &slot : slots)
+        slot.valid = false;
+}
+
+std::uint64_t
+Tlb::validEntries() const
+{
+    std::uint64_t count = 0;
+    for (const Slot &slot : slots)
+        if (slot.valid)
+            ++count;
+    return count;
+}
+
+} // namespace pth

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Attack-side eviction machinery tests: the TLB pool and Algorithm 1,
+ * the LLC eviction-pool builders (checked against the hardware's
+ * ground-truth set mapping) and Algorithm 2's selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/eviction_pool.hh"
+#include "attack/eviction_selection.hh"
+#include "attack/spray.hh"
+#include "attack/tlb_eviction.hh"
+#include "cpu/machine.hh"
+#include "kernel/kernel_module.hh"
+
+namespace pth
+{
+namespace
+{
+
+struct AttackEnv : public ::testing::Test
+{
+    AttackEnv() : machine(MachineConfig::testSmall())
+    {
+        attack.superpages = true;
+        attack.sprayBytes = 8ull << 20;
+        proc = &machine.kernel().createProcess(1000);
+        machine.cpu().setProcess(*proc);
+        sprayer = std::make_unique<SprayManager>(machine, attack);
+        sprayer->spray();
+    }
+
+    Machine machine;
+    AttackConfig attack;
+    Process *proc;
+    std::unique_ptr<SprayManager> sprayer;
+};
+
+TEST_F(AttackEnv, SprayCreatesExpectedPtPages)
+{
+    EXPECT_EQ(sprayer->ptPages(), (8ull << 20) / kPageBytes);
+    EXPECT_EQ(sprayer->sprayedPages(), sprayer->ptPages() * kPtesPerPage);
+}
+
+TEST_F(AttackEnv, SprayedPagesReadTheirMarkers)
+{
+    for (std::uint64_t r = 0; r < sprayer->ptPages(); r += 113) {
+        std::uint64_t value = 0;
+        ASSERT_TRUE(machine.cpu().readUser64(
+            sprayer->regionBase(r) + 5 * kPageBytes, value));
+        EXPECT_EQ(value, sprayer->expectedMarker(r));
+    }
+}
+
+TEST_F(AttackEnv, RandomTargetsAreValidAndNotSuperpageAligned)
+{
+    for (int i = 0; i < 200; ++i) {
+        VirtAddr va = sprayer->randomTarget(i);
+        EXPECT_EQ(va & (kPageBytes - 1), 0u);
+        EXPECT_NE(va & (kSuperPageBytes - 1), 0u);
+        std::uint64_t value = 0;
+        EXPECT_TRUE(machine.cpu().readUser64(va, value));
+    }
+}
+
+TEST_F(AttackEnv, PtFrameReverseLookup)
+{
+    auto frame = proc->pageTables()->l1ptFrame(sprayer->regionBase(3));
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(sprayer->regionOfPtFrame(*frame), 3u);
+    EXPECT_EQ(sprayer->regionOfPtFrame(0), ~0ull);
+}
+
+TEST_F(AttackEnv, TlbPoolCoversEverySet)
+{
+    TlbEvictionTool tlb(machine, attack);
+    tlb.prepare();
+    // Any target must get a full eviction set whose pages share its
+    // sTLB set under the linear mapping.
+    const Tlb &stlb = machine.mmu().tlb().l2();
+    for (int i = 0; i < 50; ++i) {
+        VirtAddr target = sprayer->randomTarget(1000 + i);
+        auto set = tlb.evictionSetFor(target, 12);
+        ASSERT_EQ(set.size(), 12u);
+        for (VirtAddr page : set)
+            EXPECT_EQ(stlb.setOf(page >> kPageShift),
+                      stlb.setOf(target >> kPageShift));
+    }
+}
+
+TEST_F(AttackEnv, Algorithm1FindsSizeAboveAssociativity)
+{
+    TlbEvictionTool tlb(machine, attack);
+    tlb.prepare();
+    KernelModule module(machine);
+    unsigned minimal =
+        tlb.findMinimalSetSize(sprayer->randomTarget(7), module);
+    // The paper's core observation: more pages than the 4-way
+    // associativity are needed.
+    EXPECT_GT(minimal, machine.config().tlb.l2s.ways);
+    EXPECT_LE(minimal, 16u);
+}
+
+TEST_F(AttackEnv, TlbEvictionActuallyEvicts)
+{
+    TlbEvictionTool tlb(machine, attack);
+    tlb.prepare();
+    KernelModule module(machine);
+    VirtAddr target = sprayer->randomTarget(9);
+    auto set = tlb.evictionSetFor(target, 14);
+    double rate = tlb.profileMissRate(target, set, 100, module);
+    EXPECT_GT(rate, 0.9);
+}
+
+TEST_F(AttackEnv, SmallTlbSetFailsToEvict)
+{
+    TlbEvictionTool tlb(machine, attack);
+    tlb.prepare();
+    KernelModule module(machine);
+    VirtAddr target = sprayer->randomTarget(11);
+    auto set = tlb.evictionSetFor(target, 4);
+    double rate = tlb.profileMissRate(target, set, 100, module);
+    EXPECT_LT(rate, 0.5);
+}
+
+struct PoolEnv : public AttackEnv
+{
+    PoolEnv() : pool(machine, attack)
+    {
+        pool.allocateBuffer();
+    }
+
+    LlcEvictionPool pool;
+};
+
+TEST_F(PoolEnv, SampledBuildGroupsAreTrulyCongruent)
+{
+    pool.buildSuperpage(/*sampleClasses=*/6);
+    unsigned algorithmic = 0;
+    for (const EvictionSet &set : pool.sets()) {
+        if (set.lines.size() < machine.config().caches.llc.ways)
+            continue;
+        // Lines of one set share the ground-truth (set, slice).
+        auto tr0 = machine.cpu().process().pageTables()->translate(
+            set.lines.front());
+        ASSERT_TRUE(tr0.has_value());
+        PhysAddr pa0 = (tr0->frame << kPageShift) |
+                       (set.lines.front() & (kPageBytes - 1));
+        std::uint64_t expected = machine.caches().llc().globalSet(pa0);
+        unsigned mismatches = 0;
+        for (VirtAddr line : set.lines) {
+            auto tr = machine.cpu().process().pageTables()->translate(line);
+            PhysAddr pa = (tr->frame << kPageShift) |
+                          (line & (kPageBytes - 1));
+            if (machine.caches().llc().globalSet(pa) != expected)
+                ++mismatches;
+        }
+        EXPECT_LE(mismatches, set.lines.size() / 8)
+            << "group contaminated";
+        ++algorithmic;
+        if (algorithmic > 8)
+            break;
+    }
+    EXPECT_GT(algorithmic, 0u);
+}
+
+TEST_F(PoolEnv, OracleFillCompletesPool)
+{
+    pool.buildSuperpage(/*sampleClasses=*/2);
+    // Complete pool: one set per (set-index, slice).
+    std::uint64_t llcSets = machine.config().caches.llc.sets *
+                            machine.config().caches.llc.slices;
+    EXPECT_GE(pool.sets().size(), llcSets * 9 / 10);
+}
+
+TEST_F(PoolEnv, CandidatesShareLineOffset)
+{
+    pool.buildSuperpage(2);
+    auto candidates = pool.candidatesForLineOffset(0x13);
+    EXPECT_FALSE(candidates.empty());
+    for (const EvictionSet *set : candidates)
+        EXPECT_EQ(set->classIndex & 0x3f, 0x13u);
+}
+
+TEST_F(PoolEnv, WorkingSetEvictsReliably)
+{
+    pool.buildSuperpage(4);
+    // Figure 4's plateau: a set one larger than the associativity
+    // evicts with high probability.
+    VirtAddr target = pool.sets().front().lines.back();
+    double rate = pool.profileEvictionRate(target,
+                                           pool.workingSetSize(), 100);
+    EXPECT_GT(rate, 0.85);
+}
+
+TEST_F(PoolEnv, UndersizedSetEvictsRarely)
+{
+    pool.buildSuperpage(4);
+    VirtAddr target = pool.sets().front().lines.back();
+    double rate = pool.profileEvictionRate(
+        target, machine.config().caches.llc.ways / 2, 100);
+    EXPECT_LT(rate, 0.4);
+}
+
+TEST_F(PoolEnv, RegularBuildReportsSlowerThanSuperpage)
+{
+    LlcEvictionPool superPool(machine, attack);
+    AttackConfig regularCfg = attack;
+    regularCfg.superpages = false;
+
+    superPool.allocateBuffer();
+    PoolBuildReport fast = superPool.buildSuperpage(4);
+
+    Machine m2(MachineConfig::testSmall());
+    Process &p2 = m2.kernel().createProcess(1000);
+    m2.cpu().setProcess(p2);
+    LlcEvictionPool slowPool(m2, regularCfg);
+    slowPool.allocateBuffer();
+    PoolBuildReport slow = slowPool.buildRegularSampled(1, 2);
+
+    EXPECT_GT(slow.extrapolatedCycles, fast.extrapolatedCycles);
+}
+
+TEST_F(PoolEnv, Algorithm2SelectsTheCongruentSet)
+{
+    pool.buildSuperpage(2);
+    TlbEvictionTool tlb(machine, attack);
+    tlb.prepare();
+    EvictionSetSelector selector(machine, attack, pool, tlb);
+    KernelModule module(machine);
+
+    unsigned correct = 0;
+    const unsigned targets = 6;
+    for (unsigned i = 0; i < targets; ++i) {
+        VirtAddr target = sprayer->randomTarget(500 + i);
+        SetSelection sel = selector.select(target);
+        ASSERT_NE(sel.set, nullptr);
+        auto truth = module.l1pteLlcSet(*proc, target);
+        ASSERT_TRUE(truth.has_value());
+        // The selected set's lines live in the L1PTE's (set, slice).
+        auto tr = proc->pageTables()->translate(sel.set->lines.front());
+        PhysAddr pa = (tr->frame << kPageShift) |
+                      (sel.set->lines.front() & (kPageBytes - 1));
+        if (machine.caches().llc().globalSet(pa) == *truth)
+            ++correct;
+    }
+    // Section IV-C: no more than 6 % false positives; with 6 samples,
+    // demand at least 5 correct.
+    EXPECT_GE(correct, targets - 1);
+}
+
+} // namespace
+} // namespace pth

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the DRAM device: row-buffer timing, refresh-window
+ * disturbance accounting, flip orientation (true/anti cells), and the
+ * equivalence of detailed and bulk (extrapolated) hammering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram.hh"
+#include "mem/physical_memory.hh"
+
+namespace pth
+{
+namespace
+{
+
+struct DramFixture : public ::testing::Test
+{
+    DramFixture()
+    {
+        geometry.sizeBytes = 256ull << 20;
+        geometry.banks = 32;
+        geometry.rowBytes = 8192;
+        timing = {100, 150, 200};
+        disturbance.refreshWindowCycles = 1'000'000;
+        disturbance.weakRowProbability = 0.05;
+        disturbance.thresholdMin = 1000;
+        disturbance.thresholdMax = 1200;
+        disturbance.seed = 0xd0d0;
+        mem = std::make_unique<PhysicalMemory>(geometry.sizeBytes);
+        dram = std::make_unique<Dram>(geometry, timing, disturbance, *mem);
+    }
+
+    /** First row >= startRow in bank 0 that is weak / not weak. */
+    std::uint64_t
+    findRow(bool weak, std::uint64_t startRow = 1)
+    {
+        for (std::uint64_t row = startRow; row < geometry.rows() - 2;
+             ++row)
+            if (dram->vulnerability().rowIsWeak(0, row) == weak)
+                return row;
+        return 0;
+    }
+
+    PhysAddr
+    addrOf(unsigned bank, std::uint64_t row, std::uint64_t col = 0)
+    {
+        return dram->mapping().compose({bank, row, col});
+    }
+
+    DramGeometry geometry;
+    DramTiming timing;
+    DisturbanceConfig disturbance;
+    std::unique_ptr<PhysicalMemory> mem;
+    std::unique_ptr<Dram> dram;
+};
+
+TEST_F(DramFixture, FirstAccessActivatesClosedBank)
+{
+    auto r = dram->access(addrOf(0, 10), 0);
+    EXPECT_EQ(r.latency, timing.rowClosed);
+    EXPECT_TRUE(r.activated);
+    EXPECT_FALSE(r.rowHit);
+}
+
+TEST_F(DramFixture, SameRowHitsRowBuffer)
+{
+    dram->access(addrOf(0, 10), 0);
+    auto r = dram->access(addrOf(0, 10, 128), 10);
+    EXPECT_EQ(r.latency, timing.rowHit);
+    EXPECT_TRUE(r.rowHit);
+    EXPECT_FALSE(r.activated);
+}
+
+TEST_F(DramFixture, DifferentRowSameBankConflicts)
+{
+    dram->access(addrOf(0, 10), 0);
+    auto r = dram->access(addrOf(0, 11), 10);
+    EXPECT_EQ(r.latency, timing.rowConflict);
+    EXPECT_TRUE(r.activated);
+}
+
+TEST_F(DramFixture, DifferentBanksDoNotConflict)
+{
+    dram->access(addrOf(0, 10), 0);
+    auto r = dram->access(addrOf(1, 11), 10);
+    EXPECT_EQ(r.latency, timing.rowClosed);
+}
+
+TEST_F(DramFixture, AlternatingRowsAlwaysActivate)
+{
+    // The double-sided hammering pattern: every access activates.
+    PhysAddr a = addrOf(0, 20);
+    PhysAddr b = addrOf(0, 22);
+    std::uint64_t before = dram->totalActivations();
+    for (int i = 0; i < 100; ++i) {
+        dram->access(a, i * 10);
+        dram->access(b, i * 10 + 5);
+    }
+    EXPECT_EQ(dram->totalActivations() - before, 200u);
+}
+
+TEST_F(DramFixture, BulkHammerFlipsWeakNeighbour)
+{
+    std::uint64_t victim = findRow(true);
+    ASSERT_GT(victim, 0u);
+    auto flips = dram->hammerBulk(0, {victim - 1, victim + 1},
+                                  disturbance.thresholdMax + 1, 1);
+    EXPECT_FALSE(flips.empty());
+    for (const FlipEvent &f : flips) {
+        EXPECT_EQ(f.bank, 0u);
+        EXPECT_EQ(f.row, victim);
+    }
+}
+
+TEST_F(DramFixture, BulkHammerBelowThresholdNoFlips)
+{
+    std::uint64_t victim = findRow(true);
+    auto flips = dram->hammerBulk(0, {victim - 1, victim + 1},
+                                  disturbance.thresholdMin / 2 - 1, 4);
+    EXPECT_TRUE(flips.empty());
+}
+
+TEST_F(DramFixture, SingleSidedNeedsFullThreshold)
+{
+    // One aggressor contributes half the disturbance of double-sided.
+    std::uint64_t victim = findRow(true);
+    auto cells = dram->vulnerability().weakCells(0, victim);
+    ASSERT_FALSE(cells.empty());
+    auto none = dram->hammerBulk(0, {victim - 1},
+                                 disturbance.thresholdMin - 1, 1);
+    EXPECT_TRUE(none.empty());
+    auto some = dram->hammerBulk(0, {victim - 1},
+                                 disturbance.thresholdMax + 1, 1);
+    EXPECT_FALSE(some.empty());
+}
+
+TEST_F(DramFixture, TrueCellsOnlyDischarge)
+{
+    std::uint64_t victim = findRow(true);
+    // Prefill the victim row with all-ones so true cells can flip.
+    PhysFrame frames[2];
+    dram->mapping().framesInRow(0, victim, frames);
+    for (PhysFrame f : frames)
+        mem->fillFramePattern(f, ~0ull);
+
+    auto flips = dram->hammerBulk(0, {victim - 1, victim + 1},
+                                  disturbance.thresholdMax + 1, 1);
+    for (const FlipEvent &f : flips) {
+        // All-ones data: only true cells (1 -> 0) may flip.
+        EXPECT_TRUE(f.wasOne);
+        EXPECT_EQ((mem->read8(f.address) >> f.bitInByte) & 1, 0u);
+    }
+}
+
+TEST_F(DramFixture, AntiCellsOnlyCharge)
+{
+    std::uint64_t victim = findRow(true);
+    // Zero-filled rows: only anti cells (0 -> 1) may flip.
+    auto flips = dram->hammerBulk(0, {victim - 1, victim + 1},
+                                  disturbance.thresholdMax + 1, 1);
+    for (const FlipEvent &f : flips) {
+        EXPECT_FALSE(f.wasOne);
+        EXPECT_EQ((mem->read8(f.address) >> f.bitInByte) & 1, 1u);
+    }
+}
+
+TEST_F(DramFixture, CellsFlipAtMostOnce)
+{
+    std::uint64_t victim = findRow(true);
+    auto first = dram->hammerBulk(0, {victim - 1, victim + 1},
+                                  disturbance.thresholdMax + 1, 1);
+    auto second = dram->hammerBulk(0, {victim - 1, victim + 1},
+                                   disturbance.thresholdMax + 1, 1);
+    EXPECT_FALSE(first.empty());
+    EXPECT_TRUE(second.empty());
+}
+
+TEST_F(DramFixture, RefreshWindowResetsDisturbance)
+{
+    std::uint64_t victim = findRow(true);
+    PhysAddr a = addrOf(0, victim - 1);
+    PhysAddr b = addrOf(0, victim + 1);
+    // Spread the activations over many refresh windows: no single
+    // window accumulates the threshold, so nothing flips.
+    Cycles window = disturbance.refreshWindowCycles;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        Cycles t = i * (window / 10);
+        dram->access(a, t);
+        dram->access(b, t + 1);
+    }
+    EXPECT_EQ(dram->totalFlips(), 0u);
+}
+
+TEST_F(DramFixture, DetailedHammeringAlsoFlips)
+{
+    // The detailed per-access path must produce the same flips the
+    // bulk path does when the rate is equivalent.
+    std::uint64_t victim = findRow(true);
+    PhysAddr a = addrOf(0, victim - 1);
+    PhysAddr b = addrOf(0, victim + 1);
+    // All activations inside one refresh window, above threshold.
+    for (std::uint64_t i = 0; i <= disturbance.thresholdMax; ++i) {
+        dram->access(a, i * 2);
+        dram->access(b, i * 2 + 1);
+    }
+    EXPECT_GT(dram->totalFlips(), 0u);
+}
+
+TEST_F(DramFixture, DrainFlipsEmptiesQueue)
+{
+    std::uint64_t victim = findRow(true);
+    dram->hammerBulk(0, {victim - 1, victim + 1},
+                     disturbance.thresholdMax + 1, 1);
+    auto drained = dram->drainFlips();
+    EXPECT_FALSE(drained.empty());
+    EXPECT_TRUE(dram->drainFlips().empty());
+}
+
+TEST_F(DramFixture, FlipsAreMonotoneInActivationCount)
+{
+    // Property: more activations can only flip a superset of cells.
+    std::uint64_t victim = findRow(true);
+    for (std::uint64_t acts :
+         {disturbance.thresholdMin - 1, disturbance.thresholdMin,
+          disturbance.thresholdMax, disturbance.thresholdMax * 2}) {
+        DramGeometry g = geometry;
+        PhysicalMemory freshMem(g.sizeBytes);
+        Dram freshDram(g, timing, disturbance, freshMem);
+        auto flips = freshDram.hammerBulk(0, {victim - 1, victim + 1},
+                                          acts / 2, 1);
+        std::size_t expectedAtLeast = 0;
+        for (const WeakCell &cell :
+             freshDram.vulnerability().weakCells(0, victim)) {
+            if (cell.threshold <= acts && !cell.trueCell)
+                ++expectedAtLeast;  // zero-filled memory: anti cells
+        }
+        EXPECT_EQ(flips.size(), expectedAtLeast);
+    }
+}
+
+TEST_F(DramFixture, ResetClosesBanksAndClearsCounters)
+{
+    dram->access(addrOf(0, 5), 0);
+    dram->reset();
+    auto r = dram->access(addrOf(0, 5), 10);
+    EXPECT_EQ(r.latency, timing.rowClosed);
+}
+
+} // namespace
+} // namespace pth

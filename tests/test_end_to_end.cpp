@@ -1,0 +1,124 @@
+/**
+ * @file
+ * End-to-end attack tests on the scaled-down machine: the full
+ * PThammer pipeline reaches cross-boundary bit flips (and escalation),
+ * and the defense policies behave as Section IV-G reports — including
+ * ZebRAM, the one defense the paper concedes it cannot beat.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/pthammer.hh"
+#include "cpu/machine.hh"
+
+namespace pth
+{
+namespace
+{
+
+AttackConfig
+smallAttack()
+{
+    AttackConfig a;
+    a.superpages = true;
+    a.sprayBytes = 24ull << 20;
+    a.superpageSampleClasses = 2;
+    a.maxAttempts = 120;
+    a.hammerBudgetSeconds = 36000;
+    return a;
+}
+
+TEST(EndToEnd, PThammerFlipsAcrossTheBoundary)
+{
+    Machine machine(MachineConfig::testSmall());
+    PThammerAttack attack(machine, smallAttack());
+    AttackReport report = attack.run();
+    EXPECT_TRUE(report.flipped);
+    EXPECT_GT(report.flipsObserved, 0u);
+    EXPECT_GT(report.attempts, 0u);
+    EXPECT_GT(report.hammerMs, 0.0);
+    EXPECT_GT(report.checkSeconds, 0.0);
+}
+
+TEST(EndToEnd, ReportContainsAllTableIIphases)
+{
+    Machine machine(MachineConfig::testSmall());
+    PThammerAttack attack(machine, smallAttack());
+    attack.prepare();
+    const AttackReport &prep = attack.prepReport();
+    EXPECT_GT(prep.tlbPrepMs, 0.0);
+    EXPECT_GT(prep.llcPrepMinutes, 0.0);
+    EXPECT_GT(prep.sprayMs, 0.0);
+}
+
+TEST(EndToEnd, EscalationOnUndefendedKernel)
+{
+    // With a large spray fraction, a visible flip lands on an L1PT
+    // with good probability; allow several flips.
+    MachineConfig config = MachineConfig::testSmall();
+    config.disturbance.weakRowProbability = 0.15;
+    Machine machine(config);
+    AttackConfig a = smallAttack();
+    a.sprayBytes = 48ull << 20;
+    a.maxAttempts = 400;
+    PThammerAttack attack(machine, a);
+    AttackReport report = attack.run();
+    EXPECT_TRUE(report.flipped);
+    EXPECT_TRUE(report.escalated) << "no escalation after "
+                                  << report.flipsObserved << " flips";
+}
+
+TEST(EndToEnd, CattDoesNotStopImplicitHammer)
+{
+    MachineConfig config = MachineConfig::testSmall();
+    config.defense = DefenseKind::Catt;
+    config.disturbance.weakRowProbability = 0.15;
+    Machine machine(config);
+    AttackConfig a = smallAttack();
+    // The kernel zone of the small machine is 64 MiB; leave room for
+    // the 24 MiB page-table spray after the exhaustion step.
+    a.exhaustKernelFraction = 0.4;
+    a.maxAttempts = 200;
+    PThammerAttack attack(machine, a);
+    AttackReport report = attack.run();
+    // Page tables live in CATT's protected kernel zone, yet the
+    // processor hammers them for us.
+    EXPECT_TRUE(report.flipped);
+}
+
+TEST(EndToEnd, ZebRamPreventsExploitableFlips)
+{
+    MachineConfig config = MachineConfig::testSmall();
+    config.defense = DefenseKind::ZebRam;
+    config.disturbance.weakRowProbability = 0.15;
+    Machine machine(config);
+    AttackConfig a = smallAttack();
+    a.maxAttempts = 60;
+    // ZebRAM halves usable memory and breaks 2 MiB frame contiguity,
+    // so the attacker falls back to regular 4 KiB pages.
+    a.superpages = false;
+    a.regularSampleClasses = 1;
+    a.regularSampleGroups = 2;
+    PThammerAttack attack(machine, a);
+    AttackReport report = attack.run();
+    // Victim rows are guard rows: flips may happen physically but
+    // never corrupt attacker-visible L1PTEs.
+    EXPECT_FALSE(report.flipped);
+    EXPECT_FALSE(report.escalated);
+}
+
+TEST(EndToEnd, DeterministicAcrossRuns)
+{
+    AttackConfig a = smallAttack();
+    a.maxAttempts = 15;
+    Machine m1(MachineConfig::testSmall());
+    Machine m2(MachineConfig::testSmall());
+    AttackReport r1 = PThammerAttack(m1, a).run();
+    AttackReport r2 = PThammerAttack(m2, a).run();
+    EXPECT_EQ(r1.attempts, r2.attempts);
+    EXPECT_EQ(r1.flipsObserved, r2.flipsObserved);
+    EXPECT_DOUBLE_EQ(r1.hammerMs, r2.hammerMs);
+}
+
+} // namespace
+} // namespace pth
