@@ -9,14 +9,21 @@
  *  - undersized LLC set: partial eviction, degraded DRAM rate.
  *  - full path        : TLB miss + PDE-cache hit + L1PTE from DRAM.
  *
- * This is the paper's Section III-B argument, quantified.
+ * This is the paper's Section III-B argument, quantified. Each
+ * variant is an independent campaign run with a custom measurement
+ * body (its own machine, prepared from the same seed), so the five
+ * variants fan out across cores and the table is reproducible
+ * bit-for-bit. PTH_THREADS overrides the worker count; --json dumps
+ * the raw campaign report.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "attack/pthammer.hh"
 #include "common/table.hh"
 #include "cpu/machine.hh"
+#include "harness/campaign.hh"
 
 namespace
 {
@@ -50,79 +57,122 @@ iterationVariant(Machine &m, const HammerPair &pair, bool evictTlb,
     return m.clock().now() - start;
 }
 
+/** Variant descriptor; llcFraction scales the discovered set size. */
+struct Variant
+{
+    const char *name;
+    bool tlb;
+    bool llc;
+    double llcFraction;
+};
+
+/** Measure one variant on a freshly prepared machine. */
+void
+measureVariant(const Variant &variant, Machine &machine,
+               const AttackConfig &attack, RunResult &res)
+{
+    PThammerAttack pthammer(machine, attack);
+    pthammer.prepare();
+    auto pair = pthammer.pairs().next();
+    if (!pair)
+        throw std::runtime_error("no hammer pair found");
+    unsigned fullSet = static_cast<unsigned>(pair->llcSet1.size());
+    unsigned lines = variant.llc
+                         ? static_cast<unsigned>(fullSet *
+                                                 variant.llcFraction)
+                         : 0;
+
+    // Settle, then measure.
+    unsigned dramFetches = 0;
+    for (int i = 0; i < 16; ++i)
+        iterationVariant(machine, *pair, variant.tlb, variant.llc,
+                         lines, dramFetches);
+    dramFetches = 0;
+    Cycles total = 0;
+    const unsigned rounds = 64;
+    for (unsigned i = 0; i < rounds; ++i)
+        total += iterationVariant(machine, *pair, variant.tlb,
+                                  variant.llc, lines, dramFetches);
+    double cyclesPerIter = static_cast<double>(total) / rounds;
+    double rate = dramFetches / (2.0 * rounds);
+    double actsPerWindow =
+        rate *
+        static_cast<double>(
+            machine.config().disturbance.refreshWindowCycles) /
+        cyclesPerIter;
+
+    res.attempts = rounds;
+    res.metrics.emplace_back("cycles_per_iteration", cyclesPerIter);
+    res.metrics.emplace_back("l1pte_dram_rate", rate);
+    res.metrics.emplace_back("activations_per_window", actsPerWindow);
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace pth;
+    const bool json = argc > 1 && !std::strcmp(argv[1], "--json");
 
     std::printf("== Ablation: which eviction stage buys the implicit"
                 " DRAM access (Lenovo T420) ==\n");
 
-    Machine machine(MachineConfig::lenovoT420());
-    AttackConfig attack;
-    attack.superpages = true;
-    attack.sprayBytes = 256ull << 20;
-    attack.superpageSampleClasses = 4;
-    PThammerAttack pthammer(machine, attack);
-    pthammer.prepare();
-    auto pair = pthammer.pairs().next();
-    if (!pair) {
-        std::printf("no pair\n");
-        return 1;
-    }
-    unsigned fullSet =
-        static_cast<unsigned>(pair->llcSet1.size());
-
-    struct Variant
-    {
-        const char *name;
-        bool tlb;
-        bool llc;
-        unsigned lines;
-    };
     const Variant variants[] = {
-        {"full PThammer path", true, true, fullSet},
-        {"no TLB eviction", false, true, fullSet},
-        {"no LLC eviction", true, false, 0},
-        {"LLC set undersized (1/2)", true, true, fullSet / 2},
-        {"no eviction at all", false, false, 0},
+        {"full PThammer path", true, true, 1.0},
+        {"no TLB eviction", false, true, 1.0},
+        {"no LLC eviction", true, false, 0.0},
+        {"LLC set undersized (1/2)", true, true, 0.5},
+        {"no eviction at all", false, false, 0.0},
     };
+
+    Campaign campaign;
+    for (const Variant &variant : variants) {
+        RunSpec spec;
+        spec.label = variant.name;
+        spec.preset = MachinePreset::LenovoT420;
+        spec.attack.superpages = true;
+        spec.attack.sprayBytes = 256ull << 20;
+        spec.attack.superpageSampleClasses = 4;
+        spec.body = [variant](Machine &machine,
+                              const AttackConfig &attack,
+                              RunResult &res) {
+            measureVariant(variant, machine, attack, res);
+        };
+        campaign.add(spec);
+    }
+
+    CampaignOptions options;
+    options.threads = CampaignOptions::threadsFromEnv();
+    std::vector<RunResult> results = campaign.run(options);
 
     Table table({"Variant", "Cycles/iter", "L1PTE-from-DRAM rate",
                  "Aggressor activations / 64 ms"});
-    for (const Variant &v : variants) {
-        // Settle, then measure.
-        unsigned dramFetches = 0;
-        for (int i = 0; i < 16; ++i)
-            iterationVariant(machine, *pair, v.tlb, v.llc, v.lines,
-                             dramFetches);
-        dramFetches = 0;
-        Cycles total = 0;
-        const unsigned rounds = 64;
-        for (unsigned i = 0; i < rounds; ++i)
-            total += iterationVariant(machine, *pair, v.tlb, v.llc,
-                                      v.lines, dramFetches);
-        double cyclesPerIter = static_cast<double>(total) / rounds;
-        double rate = dramFetches / (2.0 * rounds);
-        double actsPerWindow =
-            rate *
-            static_cast<double>(
-                machine.config().disturbance.refreshWindowCycles) /
-            cyclesPerIter;
-        table.addRow({v.name, strfmt("%.0f", cyclesPerIter),
-                      strfmt("%.2f", rate),
-                      strfmt("%.0f k", actsPerWindow / 1000.0)});
+    unsigned failures = 0;
+    for (const RunResult &run : results) {
+        if (!run.ok) {
+            ++failures;
+            std::printf("variant %s failed: %s\n", run.label.c_str(),
+                        run.error.c_str());
+            continue;
+        }
+        table.addRow({run.label,
+                      strfmt("%.0f", run.metrics[0].second),
+                      strfmt("%.2f", run.metrics[1].second),
+                      strfmt("%.0f k", run.metrics[2].second / 1000.0)});
     }
     table.print();
+
+    MachineConfig reference = MachineConfig::lenovoT420();
     std::printf("\nthreshold for flips: >= %llu k activations per"
                 " window on the weakest cells (double-sided sums both"
                 " aggressors)\n",
                 static_cast<unsigned long long>(
-                    machine.config().disturbance.thresholdMin / 2000));
+                    reference.disturbance.thresholdMin / 2000));
     std::printf("only the full path sustains DRAM-rate hammering;"
                 " removing either eviction stage starves it —"
                 " Section III-B's requirement, quantified\n");
-    return 0;
+
+    if (json)
+        std::fputs(Campaign::toJson(results).c_str(), stdout);
+    return failures ? 1 : 0;
 }

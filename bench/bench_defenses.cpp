@@ -14,30 +14,31 @@
  *             flipping into a cred page gives root (paper: 7 flips).
  *  - ZebRAM : guard rows between all data rows — the one defense the
  *             paper concedes PThammer does not overcome.
+ *
+ * The five defense scenarios run as one campaign across host cores
+ * (PTH_THREADS overrides the worker count; --json dumps the raw
+ * campaign report).
  */
 
 #include <cstdio>
+#include <cstring>
 
-#include "attack/pthammer.hh"
 #include "common/table.hh"
-#include "cpu/machine.hh"
+#include "harness/campaign.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pth;
 
-    std::printf("== Section IV-G: PThammer vs software-only"
-                " defenses (Lenovo T420) ==\n");
-    Table table({"Defense", "Flips observed", "Escalated", "Via",
-                 "Flips used", "Paper"});
+    const bool json = argc > 1 && !std::strcmp(argv[1], "--json");
 
-    struct Row
+    struct Scenario
     {
         DefenseKind kind;
         const char *paper;
     };
-    const Row rows[] = {
+    const Scenario scenarios[] = {
         {DefenseKind::None, "escalation (IV-F)"},
         {DefenseKind::Catt, "escalation within 3 flips"},
         {DefenseKind::RipRh, "trivially bypassed"},
@@ -45,31 +46,38 @@ main()
         {DefenseKind::ZebRam, "not overcome (paper limitation)"},
     };
 
-    for (const Row &row : rows) {
-        MachineConfig config = MachineConfig::lenovoT420();
-        config.defense = row.kind;
-        // Denser weak cells keep the host-side bench fast while
-        // preserving who-beats-whom; see EXPERIMENTS.md.
-        config.disturbance.weakRowProbability = 0.3;
-        if (row.kind == DefenseKind::Cta) {
-            // Evaluate CTA on a true-cell-dominant module (the case it
-            // is designed for): screening then keeps the PT zone
-            // contiguous, and its monotonic-pointer defense is fully
-            // in force — yet the cred spray still wins.
-            config.disturbance.trueCellFraction = 1.0;
-        }
-        Machine machine(config);
+    Campaign campaign;
+    for (const Scenario &scenario : scenarios) {
+        RunSpec spec;
+        spec.label = defenseKindName(scenario.kind);
+        spec.preset = MachinePreset::LenovoT420;
+        spec.defense = scenario.kind;
+        spec.strategy = HammerStrategy::PThammer;
+        const DefenseKind kind = scenario.kind;
+        spec.tweakMachine = [kind](MachineConfig &config) {
+            // Denser weak cells keep the host-side bench fast while
+            // preserving who-beats-whom; see EXPERIMENTS.md.
+            config.disturbance.weakRowProbability = 0.3;
+            if (kind == DefenseKind::Cta) {
+                // Evaluate CTA on a true-cell-dominant module (the
+                // case it is designed for): screening then keeps the
+                // PT zone contiguous, and its monotonic-pointer
+                // defense is fully in force — yet the cred spray
+                // still wins.
+                config.disturbance.trueCellFraction = 1.0;
+            }
+        };
 
-        AttackConfig attack;
+        AttackConfig &attack = spec.attack;
         attack.sprayBytes = 1ull << 30;
         // Under RIP-RH the kernel fallback lands inside the attacker's
         // own 96 MiB partition; size the spray to fit (density in the
         // partition is what drives the exploit).
-        if (row.kind == DefenseKind::RipRh)
+        if (kind == DefenseKind::RipRh)
             attack.sprayBytes = 48ull << 20;
         attack.maxAttempts = 150;
         attack.hammerBudgetSeconds = 36000;
-        if (row.kind == DefenseKind::ZebRam) {
+        if (kind == DefenseKind::ZebRam) {
             attack.superpages = false;  // no contiguous superpages
             attack.regularSampleClasses = 1;
             attack.regularSampleGroups = 1;
@@ -79,21 +87,42 @@ main()
         }
         // Exhaust the kernel zone completely so page tables spill
         // into user memory (the CATTmew fallback; Section IV-G1).
-        if (row.kind == DefenseKind::Catt ||
-            row.kind == DefenseKind::RipRh)
+        if (kind == DefenseKind::Catt || kind == DefenseKind::RipRh)
             attack.exhaustKernelFraction = 1.0;
-        if (row.kind == DefenseKind::Cta)
+        if (kind == DefenseKind::Cta)
             attack.credSprayProcesses = 32000;
 
-        PThammerAttack pthammer(machine, attack);
-        AttackReport r = pthammer.run();
-        table.addRow({defenseKindName(row.kind),
-                      strfmt("%u", r.flipsObserved),
-                      r.escalated ? "YES" : "no", r.exploitPath,
-                      r.escalated ? strfmt("%u", r.flipsUntilEscalation)
-                                  : "-",
-                      row.paper});
+        campaign.add(spec);
+    }
+
+    CampaignOptions options;
+    options.threads = CampaignOptions::threadsFromEnv();
+    std::vector<RunResult> results = campaign.run(options);
+
+    std::printf("== Section IV-G: PThammer vs software-only"
+                " defenses (Lenovo T420) ==\n");
+    Table table({"Defense", "Flips observed", "Escalated", "Via",
+                 "Flips used", "Paper"});
+    unsigned failures = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &run = results[i];
+        if (!run.ok) {
+            ++failures;
+            std::printf("run %s failed: %s\n", run.label.c_str(),
+                        run.error.c_str());
+            continue;
+        }
+        table.addRow(
+            {run.defense,
+             strfmt("%llu", static_cast<unsigned long long>(run.flips)),
+             run.escalated ? "YES" : "no", run.exploitPath,
+             run.escalated ? strfmt("%u", run.flipsUntilEscalation)
+                           : "-",
+             scenarios[i].paper});
     }
     table.print();
-    return 0;
+
+    if (json)
+        std::fputs(Campaign::toJson(results).c_str(), stdout);
+    return failures ? 1 : 0;
 }

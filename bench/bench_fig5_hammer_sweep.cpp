@@ -5,44 +5,88 @@
  * hammering, stretched with NOP padding — the experiment the paper
  * uses to find the maximum tolerable hammer cost (~1500 cycles on the
  * Lenovos, ~1600 on the Dell).
+ *
+ * The 3 machines x 11 padding levels form one 33-run campaign fanned
+ * across host cores (PTH_THREADS overrides the worker count; --json
+ * dumps the raw campaign report).
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "attack/explicit_hammer.hh"
 #include "common/table.hh"
 #include "cpu/machine.hh"
+#include "harness/campaign.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pth;
+
+    const bool json = argc > 1 && !std::strcmp(argv[1], "--json");
+
+    Campaign campaign;
+    const MachinePreset presets[] = {MachinePreset::LenovoT420,
+                                     MachinePreset::LenovoX230,
+                                     MachinePreset::DellE6420};
+    for (MachinePreset preset : presets) {
+        for (unsigned nops = 0; nops <= 1300; nops += 130) {
+            RunSpec spec;
+            spec.label =
+                machinePresetName(preset) + strfmt("/nop%u", nops);
+            spec.preset = preset;
+            spec.strategy = HammerStrategy::Explicit;
+            spec.nopPadding = nops;
+            spec.body = [nops](Machine &machine,
+                               const AttackConfig &attack,
+                               RunResult &res) {
+                Process &proc = machine.kernel().createProcess(1000);
+                machine.cpu().setProcess(proc);
+                ExplicitHammer hammer(machine, attack);
+                hammer.setup(64ull << 20);
+                double cycles = hammer.measureIterationCycles(nops);
+                // The paper declares "no flip" after two hours.
+                ExplicitHammerResult r = hammer.run(nops, 7200);
+                res.flipped = r.flipped;
+                res.flips = r.flipped ? 1 : 0;
+                res.attempts = static_cast<unsigned>(r.pairsHammered);
+                res.metrics.emplace_back("cycles_per_iteration", cycles);
+                res.metrics.emplace_back("seconds_to_first_flip",
+                                         r.secondsToFirstFlip);
+            };
+            campaign.add(spec);
+        }
+    }
+
+    CampaignOptions options;
+    options.threads = CampaignOptions::threadsFromEnv();
+    std::vector<RunResult> results = campaign.run(options);
 
     std::printf("== Figure 5: seconds to first flip vs cycles per"
                 " hammer iteration ==\n");
     Table table({"Machine", "NOP pad", "Cycles/iter", "First flip"});
-
-    for (const MachineConfig &config : MachineConfig::paperMachines()) {
-        for (unsigned nops = 0; nops <= 1300; nops += 130) {
-            Machine machine(config);
-            Process &proc = machine.kernel().createProcess(1000);
-            machine.cpu().setProcess(proc);
-            AttackConfig attack;
-            ExplicitHammer hammer(machine, attack);
-            hammer.setup(64ull << 20);
-            double cycles = hammer.measureIterationCycles(nops);
-            // The paper declares "no flip" after two hours.
-            ExplicitHammerResult r = hammer.run(nops, 7200);
-            table.addRow({config.name, strfmt("%u", nops),
-                          strfmt("%.0f", cycles),
-                          r.flipped
-                              ? strfmt("%.0f s", r.secondsToFirstFlip)
-                              : "none within 2 h"});
+    unsigned failures = 0;
+    for (const RunResult &run : results) {
+        if (!run.ok) {
+            ++failures;
+            std::printf("run %s failed: %s\n", run.label.c_str(),
+                        run.error.c_str());
+            continue;
         }
+        const unsigned nops = campaign.specs()[run.index].nopPadding;
+        table.addRow({run.machine, strfmt("%u", nops),
+                      strfmt("%.0f", run.metrics[0].second),
+                      run.flipped
+                          ? strfmt("%.0f s", run.metrics[1].second)
+                          : "none within 2 h"});
     }
     table.print();
     std::printf("\npaper: time to first flip grows with the iteration"
                 " cost; no flips within 2 h beyond ~1500 cycles"
                 " (Lenovos) / ~1600 cycles (Dell)\n");
-    return 0;
+
+    if (json)
+        std::fputs(Campaign::toJson(results).c_str(), stdout);
+    return failures ? 1 : 0;
 }

@@ -4,47 +4,73 @@
  * without superpages, at the paper's scale (2 GiB L1PT spray out of
  * 8 GiB). Pool construction is algorithmically sampled and its cost
  * extrapolated (see DESIGN.md); everything else runs in full.
+ *
+ * The six machine x page-size configurations are dispatched through
+ * the campaign runner, so they fan out across host cores and the
+ * reported rows are identical no matter how many workers ran them.
+ * PTH_THREADS overrides the worker count (default: all cores);
+ * --json additionally dumps the machine-readable campaign report.
  */
 
 #include <cstdio>
+#include <cstring>
 
-#include "attack/pthammer.hh"
 #include "common/table.hh"
-#include "cpu/machine.hh"
+#include "harness/campaign.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pth;
+
+    const bool json = argc > 1 && !std::strcmp(argv[1], "--json");
+
+    Campaign campaign;
+    const MachinePreset presets[] = {MachinePreset::LenovoT420,
+                                     MachinePreset::LenovoX230,
+                                     MachinePreset::DellE6420};
+    for (MachinePreset preset : presets) {
+        for (bool superpages : {true, false}) {
+            RunSpec spec;
+            spec.label = machinePresetName(preset) +
+                         (superpages ? "/superpage" : "/regular");
+            spec.preset = preset;
+            spec.strategy = HammerStrategy::PThammer;
+            spec.attack.superpages = superpages;
+            spec.attack.sprayBytes = 2ull << 30;
+            spec.attack.maxAttempts = 450;
+            campaign.add(spec);
+        }
+    }
+
+    CampaignOptions options;
+    options.threads = CampaignOptions::threadsFromEnv();
+    std::vector<RunResult> results = campaign.run(options);
 
     std::printf("== Table II: average PThammer times ==\n");
     Table table({"Machine", "Page Size", "Prep TLB", "Prep LLC",
                  "Sel TLB", "Sel LLC", "Hammer", "Check",
                  "Time to Bit Flip"});
-
-    for (const MachineConfig &config : MachineConfig::paperMachines()) {
-        for (bool superpages : {true, false}) {
-            Machine machine(config);
-            AttackConfig attack;
-            attack.superpages = superpages;
-            attack.sprayBytes = 2ull << 30;
-            attack.maxAttempts = 450;
-            PThammerAttack pthammer(machine, attack);
-            AttackReport r = pthammer.run();
-
-            table.addRow(
-                {r.machine, superpages ? "superpage" : "regular",
-                 strfmt("%.0f ms", r.tlbPrepMs),
-                 strfmt("%.2f m", r.llcPrepMinutes),
-                 strfmt("%.0f us", r.tlbSelectMicros),
-                 strfmt("%.0f ms", r.llcSelectMs),
-                 strfmt("%.0f ms", r.hammerMs),
-                 strfmt("%.1f s", r.checkSeconds),
-                 r.flipped
-                     ? strfmt("%.1f m", r.timeToFirstFlipMinutes)
-                     : strfmt("none in %.0f m",
-                              r.timeToFirstFlipMinutes)});
+    unsigned failures = 0;
+    for (const RunResult &run : results) {
+        if (!run.ok) {
+            ++failures;
+            std::printf("run %s failed: %s\n", run.label.c_str(),
+                        run.error.c_str());
+            continue;
         }
+        const AttackReport &r = run.report;
+        table.addRow(
+            {r.machine, r.superpages ? "superpage" : "regular",
+             strfmt("%.0f ms", r.tlbPrepMs),
+             strfmt("%.2f m", r.llcPrepMinutes),
+             strfmt("%.0f us", r.tlbSelectMicros),
+             strfmt("%.0f ms", r.llcSelectMs),
+             strfmt("%.0f ms", r.hammerMs),
+             strfmt("%.1f s", r.checkSeconds),
+             r.flipped ? strfmt("%.1f m", r.timeToFirstFlipMinutes)
+                       : strfmt("none in %.0f m",
+                                r.timeToFirstFlipMinutes)});
     }
     table.print();
     std::printf(
@@ -56,5 +82,15 @@ main()
         " ~282 ms / 4.2-4.4 s / 15 m\n"
         "paper (E6420)         : 7 ms / 0.3-38 m / 1 us / ~264 ms /"
         " ~390 ms / 4.0-4.1 s / 12-14 m\n");
-    return 0;
+
+    double serialEquivalent = 0;
+    for (const RunResult &run : results)
+        serialEquivalent += run.wallSeconds;
+    std::printf("\ncampaign: %zu runs, serial-equivalent %.1f s of"
+                " host work\n",
+                results.size(), serialEquivalent);
+
+    if (json)
+        std::fputs(Campaign::toJson(results).c_str(), stdout);
+    return failures ? 1 : 0;
 }

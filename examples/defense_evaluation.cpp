@@ -5,36 +5,43 @@
  * to the standard exploit, CTA falls to the struct-cred spray, and
  * ZebRAM (whose guard rows absorb every flip) holds — exactly the
  * paper's conclusion.
+ *
+ * The five scenarios are one Campaign, fanned across host cores; the
+ * table is identical however many workers ran it.
  */
 
 #include <cstdio>
 
-#include "attack/pthammer.hh"
 #include "common/table.hh"
-#include "cpu/machine.hh"
+#include "harness/campaign.hh"
 
 int
 main()
 {
     using namespace pth;
 
-    Table table({"Defense", "Flipped", "Escalated", "Path"});
+    Campaign campaign;
     for (DefenseKind kind :
          {DefenseKind::None, DefenseKind::Catt, DefenseKind::RipRh,
           DefenseKind::Cta, DefenseKind::ZebRam}) {
-        MachineConfig config = MachineConfig::testSmall();
-        config.defense = kind;
-        config.disturbance.weakRowProbability = 0.15;
-        if (kind == DefenseKind::Cta) {
-            // Evaluate CTA on a true-cell-dominant module (the case it
-            // is designed for): screening then keeps the PT zone
-            // contiguous, and its monotonic-pointer defense is fully
-            // in force — yet the cred spray still wins.
-            config.disturbance.trueCellFraction = 1.0;
-        }
-        Machine machine(config);
+        RunSpec spec;
+        spec.label = defenseKindName(kind);
+        spec.preset = MachinePreset::TestSmall;
+        spec.defense = kind;
+        spec.strategy = HammerStrategy::PThammer;
+        spec.tweakMachine = [kind](MachineConfig &config) {
+            config.disturbance.weakRowProbability = 0.15;
+            if (kind == DefenseKind::Cta) {
+                // Evaluate CTA on a true-cell-dominant module (the
+                // case it is designed for): screening then keeps the
+                // PT zone contiguous, and its monotonic-pointer
+                // defense is fully in force — yet the cred spray
+                // still wins.
+                config.disturbance.trueCellFraction = 1.0;
+            }
+        };
 
-        AttackConfig attack;
+        AttackConfig &attack = spec.attack;
         // The small machine's kernel zone is 64 MiB under CATT/CTA;
         // keep the page-table spray well inside it.
         attack.sprayBytes = 32ull << 20;
@@ -53,14 +60,26 @@ main()
         }
         if (kind == DefenseKind::Catt || kind == DefenseKind::RipRh)
             attack.exhaustKernelFraction = 1.0;
-        if (kind == DefenseKind::Cta)
+        if (kind == DefenseKind::Cta) {
             attack.credSprayProcesses = 4000;
-        if (kind == DefenseKind::Cta)
             attack.maxAttempts = 600;
+        }
 
-        PThammerAttack pthammer(machine, attack);
-        AttackReport r = pthammer.run();
-        table.addRow({defenseKindName(kind), r.flipped ? "yes" : "no",
+        campaign.add(spec);
+    }
+
+    CampaignOptions options;
+    options.threads = 0;  // all cores
+    std::vector<RunResult> results = campaign.run(options);
+
+    Table table({"Defense", "Flipped", "Escalated", "Path"});
+    for (const RunResult &r : results) {
+        if (!r.ok) {
+            std::printf("run %s failed: %s\n", r.label.c_str(),
+                        r.error.c_str());
+            continue;
+        }
+        table.addRow({r.defense, r.flipped ? "yes" : "no",
                       r.escalated ? "YES" : "no", r.exploitPath});
     }
     table.print();

@@ -29,6 +29,22 @@ RunningStat::mean() const
 }
 
 void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        lo = other.lo;
+        hi = other.hi;
+    } else {
+        lo = std::min(lo, other.lo);
+        hi = std::max(hi, other.hi);
+    }
+    sum += other.sum;
+    n += other.n;
+}
+
+void
 RunningStat::reset()
 {
     n = 0;

@@ -36,6 +36,13 @@ class RunningStat
     /** Sum of all samples. */
     double total() const { return sum; }
 
+    /**
+     * Fold another stat in, as if its samples had been recorded here
+     * after this one's. Lets independently collected statistics (e.g.
+     * per-shard campaign results) combine into one.
+     */
+    void merge(const RunningStat &other);
+
     /** Forget all samples. */
     void reset();
 

@@ -1,0 +1,359 @@
+#include "harness/campaign.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "attack/explicit_hammer.hh"
+#include "attack/pthammer.hh"
+#include "common/table.hh"
+#include "cpu/machine.hh"
+#include "harness/thread_pool.hh"
+
+namespace pth
+{
+
+namespace
+{
+
+/** Stream ids keeping the per-run seed derivations independent. */
+enum SeedStream : std::uint64_t
+{
+    kStreamDisturbance = 1,
+    kStreamKernel = 2,
+    kStreamTlbL1 = 3,
+    kStreamTlbL2 = 4,
+    kStreamAttack = 5,
+};
+
+/** Minimal JSON string escaping (labels/names are ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Fill the result fields shared by every strategy. */
+void
+finishResult(RunResult &res, Machine &machine)
+{
+    res.simSeconds = machine.seconds();
+}
+
+void
+runExplicit(const RunSpec &spec, const AttackConfig &attack,
+            Machine &machine, RunResult &res)
+{
+    Process &proc = machine.kernel().createProcess(/*uid=*/1000);
+    machine.cpu().setProcess(proc);
+    ExplicitHammer hammer(machine, attack);
+    hammer.setup(spec.explicitBufferBytes);
+    ExplicitHammerResult r =
+        hammer.run(spec.nopPadding, attack.hammerBudgetSeconds);
+    res.flipped = r.flipped;
+    res.flips = r.flipped ? 1 : 0;
+    res.attempts = static_cast<unsigned>(r.pairsHammered);
+    res.report.machine = machine.config().name;
+    res.report.flipped = r.flipped;
+    res.report.timeToFirstFlipMinutes = r.secondsToFirstFlip / 60.0;
+}
+
+void
+runImplicit(const AttackConfig &attack, Machine &machine, RunResult &res)
+{
+    PThammerAttack attackRun(machine, attack);
+    attackRun.prepare();
+    res.report = attackRun.prepReport();
+    auto pair = attackRun.pairs().next();
+    if (!pair)
+        return;
+    res.attempts = 1;
+    HammerRunResult hr =
+        attackRun.hammer().run(*pair, attack.hammerIterations);
+    res.flips = hr.flips;
+    res.flipped = hr.flips > 0;
+    res.report.flipped = res.flipped;
+    res.report.hammerMs = machine.seconds(hr.totalCycles) * 1e3;
+}
+
+void
+runPthammer(const AttackConfig &attack, Machine &machine, RunResult &res)
+{
+    PThammerAttack attackRun(machine, attack);
+    attackRun.prepare();
+    res.report = attackRun.run();
+    res.flipped = res.report.flipped;
+    res.escalated = res.report.escalated;
+    res.flips = res.report.flipsObserved;
+    res.attempts = res.report.attempts;
+    res.flipsUntilEscalation = res.report.flipsUntilEscalation;
+    res.exploitPath = res.report.exploitPath;
+}
+
+} // namespace
+
+std::string
+machinePresetName(MachinePreset preset)
+{
+    switch (preset) {
+    case MachinePreset::LenovoT420: return "Lenovo T420";
+    case MachinePreset::LenovoX230: return "Lenovo X230";
+    case MachinePreset::DellE6420: return "Dell E6420";
+    case MachinePreset::TestSmall: return "test-small";
+    }
+    return "unknown";
+}
+
+std::string
+hammerStrategyName(HammerStrategy strategy)
+{
+    switch (strategy) {
+    case HammerStrategy::Explicit: return "explicit";
+    case HammerStrategy::Implicit: return "implicit";
+    case HammerStrategy::PThammer: return "pthammer";
+    }
+    return "unknown";
+}
+
+MachineConfig
+makeMachineConfig(MachinePreset preset)
+{
+    switch (preset) {
+    case MachinePreset::LenovoT420: return MachineConfig::lenovoT420();
+    case MachinePreset::LenovoX230: return MachineConfig::lenovoX230();
+    case MachinePreset::DellE6420: return MachineConfig::dellE6420();
+    case MachinePreset::TestSmall: return MachineConfig::testSmall();
+    }
+    return MachineConfig{};
+}
+
+unsigned
+CampaignOptions::threadsFromEnv()
+{
+    const char *env = std::getenv("PTH_THREADS");
+    if (!env)
+        return 0;
+    long value = std::strtol(env, nullptr, 10);
+    return value > 0 ? static_cast<unsigned>(value) : 0;
+}
+
+std::size_t
+Campaign::add(RunSpec spec)
+{
+    specs_.push_back(std::move(spec));
+    return specs_.size() - 1;
+}
+
+void
+Campaign::addSeedSweep(const RunSpec &base, std::uint64_t seedBase,
+                       unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        RunSpec spec = base;
+        spec.seed = seedBase + i;
+        spec.label = base.label + strfmt("/seed%u", i);
+        add(std::move(spec));
+    }
+}
+
+RunResult
+Campaign::runOne(const RunSpec &spec, std::size_t index)
+{
+    RunResult res;
+    res.index = index;
+    res.label = spec.label;
+    res.seed = spec.seed;
+    res.machine = machinePresetName(spec.preset);
+    res.defense = defenseKindName(spec.defense);
+    res.strategy = hammerStrategyName(spec.strategy);
+
+    auto wallStart = std::chrono::steady_clock::now();
+    try {
+        MachineConfig config = makeMachineConfig(spec.preset);
+        config.defense = spec.defense;
+
+        // Re-key every stochastic stream from the run seed so runs
+        // with different seeds decorrelate and equal seeds replay.
+        // Seed 0 keeps the library defaults (exact replay of a
+        // stand-alone, un-swept run).
+        AttackConfig attack = spec.attack;
+        if (spec.seed != 0) {
+            config.disturbance.seed =
+                hashCombine(config.disturbance.seed, spec.seed,
+                            kStreamDisturbance);
+            config.kernel.seed = hashCombine(config.kernel.seed,
+                                             spec.seed, kStreamKernel);
+            config.tlb.l1d.seed = hashCombine(config.tlb.l1d.seed,
+                                              spec.seed, kStreamTlbL1);
+            config.tlb.l2s.seed = hashCombine(config.tlb.l2s.seed,
+                                              spec.seed, kStreamTlbL2);
+            attack.seed =
+                hashCombine(attack.seed, spec.seed, kStreamAttack);
+        }
+        if (spec.tweakMachine)
+            spec.tweakMachine(config);
+
+        Machine machine(config);
+        res.machine = config.name;
+
+        if (spec.body) {
+            spec.body(machine, attack, res);
+        } else {
+            switch (spec.strategy) {
+            case HammerStrategy::Explicit:
+                runExplicit(spec, attack, machine, res);
+                break;
+            case HammerStrategy::Implicit:
+                runImplicit(attack, machine, res);
+                break;
+            case HammerStrategy::PThammer:
+                runPthammer(attack, machine, res);
+                break;
+            }
+        }
+        finishResult(res, machine);
+    } catch (const std::exception &e) {
+        res.ok = false;
+        res.error = e.what();
+    } catch (...) {
+        res.ok = false;
+        res.error = "unknown exception";
+    }
+    res.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
+    return res;
+}
+
+std::vector<RunResult>
+Campaign::run(const CampaignOptions &options) const
+{
+    std::vector<RunResult> results;
+    results.reserve(specs_.size());
+
+    if (options.threads == 1) {
+        for (std::size_t i = 0; i < specs_.size(); ++i) {
+            results.push_back(runOne(specs_[i], i));
+            if (options.rethrow && !results.back().ok)
+                throw std::runtime_error(results.back().error);
+        }
+        return results;
+    }
+
+    ThreadPool pool(options.threads);
+    std::vector<std::future<RunResult>> futures;
+    futures.reserve(specs_.size());
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const RunSpec &spec = specs_[i];
+        futures.push_back(
+            pool.submit([&spec, i] { return runOne(spec, i); }));
+    }
+    // Joining in submission order makes completion order irrelevant.
+    for (std::future<RunResult> &future : futures) {
+        results.push_back(future.get());
+        if (options.rethrow && !results.back().ok)
+            throw std::runtime_error(results.back().error);
+    }
+    return results;
+}
+
+CampaignAggregate
+Campaign::aggregate(const std::vector<RunResult> &results)
+{
+    CampaignAggregate agg;
+    for (const RunResult &r : results)
+        agg.add(r);
+    return agg;
+}
+
+std::string
+Campaign::toJson(const std::vector<RunResult> &results)
+{
+    std::ostringstream out;
+    out << "{\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        out << "    {"
+            << "\"index\": " << r.index
+            << ", \"label\": \"" << jsonEscape(r.label) << '"'
+            << ", \"machine\": \"" << jsonEscape(r.machine) << '"'
+            << ", \"defense\": \"" << jsonEscape(r.defense) << '"'
+            << ", \"strategy\": \"" << jsonEscape(r.strategy) << '"'
+            << ", \"seed\": " << r.seed
+            << ", \"ok\": " << (r.ok ? "true" : "false");
+        if (!r.ok)
+            out << ", \"error\": \"" << jsonEscape(r.error) << '"';
+        out << ", \"flipped\": " << (r.flipped ? "true" : "false")
+            << ", \"escalated\": " << (r.escalated ? "true" : "false")
+            << ", \"flips\": " << r.flips
+            << ", \"attempts\": " << r.attempts
+            << ", \"exploit_path\": \"" << jsonEscape(r.exploitPath)
+            << '"'
+            << ", \"sim_seconds\": "
+            << strfmt("%.9g", r.simSeconds).c_str()
+            << ", \"time_to_flip_minutes\": "
+            << strfmt("%.9g", r.report.timeToFirstFlipMinutes).c_str();
+        if (!r.metrics.empty()) {
+            out << ", \"metrics\": {";
+            for (std::size_t k = 0; k < r.metrics.size(); ++k)
+                out << (k ? ", " : "") << '"'
+                    << jsonEscape(r.metrics[k].first)
+                    << "\": " << strfmt("%.9g", r.metrics[k].second).c_str();
+            out << '}';
+        }
+        out << '}' << (i + 1 < results.size() ? "," : "") << '\n';
+    }
+    CampaignAggregate agg = aggregate(results);
+    out << "  ],\n  \"aggregate\": {"
+        << "\"runs\": " << agg.runs
+        << ", \"failed_runs\": " << agg.failedRuns
+        << ", \"flipped_runs\": " << agg.flippedRuns
+        << ", \"escalated_runs\": " << agg.escalatedRuns
+        << ", \"total_flips\": " << agg.totalFlips
+        << ", \"total_attempts\": " << agg.totalAttempts
+        << ", \"mean_sim_seconds\": "
+        << strfmt("%.9g", agg.simSeconds.mean()).c_str()
+        << ", \"mean_time_to_flip_minutes\": "
+        << strfmt("%.9g", agg.timeToFlipMinutes.mean()).c_str()
+        << ", \"fingerprint\": \"" << strfmt("%016llx",
+               static_cast<unsigned long long>(agg.fingerprint())).c_str()
+        << "\"}\n}\n";
+    return out.str();
+}
+
+Table
+Campaign::summaryTable(const std::vector<RunResult> &results)
+{
+    Table table({"Run", "Machine", "Defense", "Strategy", "Seed",
+                 "Flips", "Escalated", "Time to flip"});
+    for (const RunResult &r : results) {
+        if (!r.ok) {
+            table.addRow({r.label, r.machine, r.defense, r.strategy,
+                          strfmt("%llu",
+                                 static_cast<unsigned long long>(r.seed)),
+                          "ERROR", "-", r.error});
+            continue;
+        }
+        table.addRow(
+            {r.label, r.machine, r.defense, r.strategy,
+             strfmt("%llu", static_cast<unsigned long long>(r.seed)),
+             strfmt("%llu", static_cast<unsigned long long>(r.flips)),
+             r.escalated ? "YES" : "no",
+             r.flipped
+                 ? strfmt("%.1f m", r.report.timeToFirstFlipMinutes)
+                 : "none"});
+    }
+    return table;
+}
+
+} // namespace pth

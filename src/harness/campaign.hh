@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The experiment campaign runner: build a sweep of independent
+ * simulations (machine preset x defense x hammer strategy x seed),
+ * fan them out across a worker pool, and fold the results into a
+ * deterministic aggregate, a JSON report and a summary table.
+ *
+ * Every run constructs its own Machine and seeds every stochastic
+ * stream from the run's seed alone, so runs share no state and the
+ * campaign's output is bit-identical serial vs. parallel. Results are
+ * returned and aggregated in submission (index) order regardless of
+ * worker completion order.
+ */
+
+#ifndef PTH_HARNESS_CAMPAIGN_HH
+#define PTH_HARNESS_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "attack/attack_config.hh"
+#include "cpu/machine_config.hh"
+#include "harness/campaign_result.hh"
+
+namespace pth
+{
+
+class Machine;
+class Table;
+
+/** The three Table-I laptops plus the scaled-down test machine. */
+enum class MachinePreset { LenovoT420, LenovoX230, DellE6420, TestSmall };
+
+/** Which hammering front end a run drives. */
+enum class HammerStrategy
+{
+    Explicit,   //!< clflush-based double-sided baseline (Section II)
+    Implicit,   //!< prepare + one implicit-hammer run on the first pair
+    PThammer,   //!< the full end-to-end attack (prepare + run)
+};
+
+/** Human-readable preset name (matches MachineConfig::name). */
+std::string machinePresetName(MachinePreset preset);
+
+/** Human-readable strategy name. */
+std::string hammerStrategyName(HammerStrategy strategy);
+
+/** Build the MachineConfig for a preset. */
+MachineConfig makeMachineConfig(MachinePreset preset);
+
+/** One point of a campaign sweep. */
+struct RunSpec
+{
+    std::string label;                 //!< row label for reports
+    MachinePreset preset = MachinePreset::TestSmall;
+    DefenseKind defense = DefenseKind::None;
+    HammerStrategy strategy = HammerStrategy::PThammer;
+
+    /**
+     * Run seed. When nonzero, every stochastic stream of the run
+     * (weak-cell placement, kernel boot noise, TLB replacement,
+     * attacker RNG) is re-keyed from it with independent stream ids,
+     * so two specs with the same seed replay identically and
+     * different seeds decorrelate completely. Seed 0 keeps the
+     * library's default seeds — the run replays exactly like the
+     * stand-alone (un-swept) configuration.
+     */
+    std::uint64_t seed = 0;
+
+    AttackConfig attack;               //!< attacker-side knobs
+
+    /** Explicit strategy only: NOPs per iteration and buffer size. */
+    unsigned nopPadding = 0;
+    std::uint64_t explicitBufferBytes = 64ull << 20;
+
+    /** Optional last-word hook over the machine configuration. */
+    std::function<void(MachineConfig &)> tweakMachine;
+
+    /**
+     * Optional custom run body. When set it replaces the built-in
+     * strategy dispatch: the campaign builds the seeded machine and
+     * attack config, then hands control to the callable, which fills
+     * the result (flips, metrics, ...). Used by experiment benches
+     * whose measurement loop is not a stock attack run. Must depend
+     * only on its arguments for the serial/parallel determinism
+     * guarantee to hold.
+     */
+    std::function<void(Machine &, const AttackConfig &, RunResult &)>
+        body;
+};
+
+/** How to execute a campaign. */
+struct CampaignOptions
+{
+    /** Worker threads; 1 = serial in the calling thread, 0 = one per
+     * hardware thread. */
+    unsigned threads = 1;
+
+    /**
+     * Worker count from the PTH_THREADS environment variable, the
+     * convention every campaign-driven bench follows. Unset, empty,
+     * non-numeric or negative values mean 0 (all cores).
+     */
+    static unsigned threadsFromEnv();
+
+    /**
+     * When set, a run that throws aborts the whole campaign by
+     * rethrowing; otherwise the exception is recorded in that run's
+     * RunResult (ok = false) and the sweep continues.
+     */
+    bool rethrow = false;
+};
+
+/** A set of runs executed together. */
+class Campaign
+{
+  public:
+    Campaign() = default;
+
+    /** Append one run; returns its index. */
+    std::size_t add(RunSpec spec);
+
+    /**
+     * Append count copies of base with seeds seedBase, seedBase+1, ...
+     * and "/seed<N>" appended to the label — the standard way to turn
+     * one configuration into a statistical sample.
+     */
+    void addSeedSweep(const RunSpec &base, std::uint64_t seedBase,
+                      unsigned count);
+
+    /** Number of runs queued. */
+    std::size_t size() const { return specs_.size(); }
+
+    /** The queued specs. */
+    const std::vector<RunSpec> &specs() const { return specs_; }
+
+    /**
+     * Execute every queued run and return results in index order.
+     * threads == 1 runs inline; otherwise runs are submitted to a
+     * ThreadPool and joined in order.
+     */
+    std::vector<RunResult> run(const CampaignOptions &options = {}) const;
+
+    /** Execute a single spec (what each worker does). */
+    static RunResult runOne(const RunSpec &spec, std::size_t index);
+
+    /** Fold results (in index order) into the aggregate. */
+    static CampaignAggregate aggregate(
+        const std::vector<RunResult> &results);
+
+    /**
+     * Deterministic JSON report: one object per run in index order
+     * plus the aggregate. Host wall-clock is deliberately omitted.
+     */
+    static std::string toJson(const std::vector<RunResult> &results);
+
+    /** One-row-per-run summary table. */
+    static Table summaryTable(const std::vector<RunResult> &results);
+
+  private:
+    std::vector<RunSpec> specs_;
+};
+
+} // namespace pth
+
+#endif // PTH_HARNESS_CAMPAIGN_HH

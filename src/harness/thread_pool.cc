@@ -1,0 +1,54 @@
+#include "harness/thread_pool.hh"
+
+#include <algorithm>
+
+namespace pth
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (stopping)
+            return;
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+    workers.clear();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return;  // stopping, and nothing left to drain
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();  // packaged_task captures any exception in its future
+    }
+}
+
+} // namespace pth

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-size worker pool used by the campaign runner to fan
+ * independent simulations out across host cores.
+ *
+ * Tasks are submitted as callables and their results (or exceptions)
+ * come back through std::future, so a worker that throws propagates
+ * the error to whoever joins the campaign instead of killing the
+ * process. Shutdown drains the queue: every task submitted before
+ * shutdown() (or destruction) runs to completion.
+ */
+
+#ifndef PTH_HARNESS_THREAD_POOL_HH
+#define PTH_HARNESS_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pth
+{
+
+/** Fixed pool of worker threads with a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 picks the hardware concurrency
+     *        (at least 1).
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue and joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * Enqueue a callable; its return value or thrown exception is
+     * delivered through the returned future.
+     *
+     * @throws std::runtime_error when called after shutdown().
+     */
+    template <class F>
+    auto submit(F f) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::move(f));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            if (stopping)
+                throw std::runtime_error(
+                    "ThreadPool::submit after shutdown");
+            queue.emplace_back([task] { (*task)(); });
+        }
+        cv.notify_one();
+        return result;
+    }
+
+    /**
+     * Run every already-queued task, then join the workers.
+     * Idempotent; called by the destructor.
+     */
+    void shutdown();
+
+  private:
+    /** Worker loop: pop and run tasks until told to stop. */
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+} // namespace pth
+
+#endif // PTH_HARNESS_THREAD_POOL_HH

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Smoke coverage for the bench binaries' code paths at tiny scale.
+ * Every bench_* program drives the library through one of the entry
+ * points exercised here (with paper-scale knobs turned down to
+ * seconds), so a change that breaks a bench breaks ctest instead of
+ * rotting silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/eviction_pool.hh"
+#include "attack/eviction_selection.hh"
+#include "attack/explicit_hammer.hh"
+#include "attack/pthammer.hh"
+#include "attack/spray.hh"
+#include "attack/tlb_eviction.hh"
+#include "common/table.hh"
+#include "cpu/machine.hh"
+#include "harness/campaign.hh"
+#include "kernel/kernel_module.hh"
+
+namespace pth
+{
+namespace
+{
+
+AttackConfig
+tinyAttack()
+{
+    AttackConfig a;
+    a.superpages = true;
+    a.sprayBytes = 24ull << 20;
+    a.superpageSampleClasses = 2;
+    a.maxAttempts = 6;
+    a.hammerBudgetSeconds = 36000;
+    return a;
+}
+
+/** bench_table1_configs: the Table-I presets render. */
+TEST(BenchSmoke, Table1Configs)
+{
+    std::vector<MachineConfig> machines = MachineConfig::paperMachines();
+    ASSERT_EQ(machines.size(), 3u);
+    Table table({"Machine", "Architecture", "LLC ways"});
+    for (const MachineConfig &m : machines)
+        table.addRow({m.name, m.architecture,
+                      strfmt("%u", m.caches.llc.ways)});
+    EXPECT_NE(table.render().find("T420"), std::string::npos);
+}
+
+/** bench_fig3_tlb_eviction: profile a TLB eviction set. */
+TEST(BenchSmoke, Fig3TlbEvictionPath)
+{
+    Machine machine(MachineConfig::testSmall());
+    AttackConfig attack = tinyAttack();
+    Process &proc = machine.kernel().createProcess(1000);
+    machine.cpu().setProcess(proc);
+    SprayManager sprayer(machine, attack);
+    sprayer.spray();
+    TlbEvictionTool tlb(machine, attack);
+    tlb.prepare();
+    KernelModule module(machine);
+
+    VirtAddr target = sprayer.randomTarget(100);
+    auto set = tlb.evictionSetFor(target, 13);
+    double rate = tlb.profileMissRate(target, set, 20, module);
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+}
+
+/** bench_fig4_llc_eviction: profile an LLC eviction set. */
+TEST(BenchSmoke, Fig4LlcEvictionPath)
+{
+    Machine machine(MachineConfig::testSmall());
+    AttackConfig attack = tinyAttack();
+    Process &proc = machine.kernel().createProcess(1000);
+    machine.cpu().setProcess(proc);
+    LlcEvictionPool pool(machine, attack);
+    pool.allocateBuffer();
+    pool.buildSuperpage(/*sampleClasses=*/2);
+    ASSERT_FALSE(pool.sets().empty());
+
+    const EvictionSet &set = pool.sets()[0];
+    ASSERT_FALSE(set.lines.empty());
+    double rate = pool.profileEvictionRate(set.lines.back(),
+                                           machine.config().caches.llc.ways
+                                               + 1,
+                                           /*repeats=*/5);
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+}
+
+/** bench_fig5_hammer_sweep: explicit hammer, one tiny run. */
+TEST(BenchSmoke, Fig5ExplicitHammerPath)
+{
+    Machine machine(MachineConfig::testSmall());
+    AttackConfig attack = tinyAttack();
+    Process &proc = machine.kernel().createProcess(1000);
+    machine.cpu().setProcess(proc);
+    ExplicitHammer hammer(machine, attack);
+    hammer.setup(8ull << 20);
+    double cycles = hammer.measureIterationCycles(/*nopPadding=*/100);
+    EXPECT_GT(cycles, 0.0);
+    ExplicitHammerResult r = hammer.run(/*nopPadding=*/0,
+                                        /*budgetSeconds=*/2.0);
+    EXPECT_GT(r.pairsHammered, 0u);
+}
+
+/** bench_fig6_hammer_times + bench_ablation: detailed iterations. */
+TEST(BenchSmoke, Fig6ImplicitTimingPath)
+{
+    Machine machine(MachineConfig::testSmall());
+    PThammerAttack pthammer(machine, tinyAttack());
+    pthammer.prepare();
+    auto pair = pthammer.pairs().next();
+    ASSERT_TRUE(pair.has_value());
+    auto timings = pthammer.hammer().measureRounds(*pair, 5);
+    EXPECT_EQ(timings.size(), 5u);
+    for (Cycles t : timings)
+        EXPECT_GT(t, 0u);
+}
+
+/** bench_pair_finding: pair quality against the kernel module. */
+TEST(BenchSmoke, PairFindingPath)
+{
+    Machine machine(MachineConfig::testSmall());
+    PThammerAttack pthammer(machine, tinyAttack());
+    pthammer.prepare();
+    KernelModule module(machine);
+    auto pair = pthammer.pairs().next();
+    ASSERT_TRUE(pair.has_value());
+    Process &proc = machine.cpu().process();
+    // The predicates must answer; quality thresholds live in the
+    // dedicated attack tests.
+    module.l1ptesSameBank(proc, pair->va1, pair->va2);
+    EXPECT_GT(pthammer.pairs().candidatesTried(), 0u);
+}
+
+/** bench_selection_fp: Algorithm 2 selection round-trips. */
+TEST(BenchSmoke, SelectionPath)
+{
+    Machine machine(MachineConfig::testSmall());
+    AttackConfig attack = tinyAttack();
+    Process &proc = machine.kernel().createProcess(1000);
+    machine.cpu().setProcess(proc);
+    SprayManager sprayer(machine, attack);
+    sprayer.spray();
+    TlbEvictionTool tlb(machine, attack);
+    tlb.prepare();
+    LlcEvictionPool pool(machine, attack);
+    pool.allocateBuffer();
+    pool.buildSuperpage(2);
+    EvictionSetSelector selector(machine, attack, pool, tlb);
+    SetSelection sel = selector.select(sprayer.randomTarget(3000));
+    EXPECT_GT(sel.elapsed, 0u);
+}
+
+/**
+ * bench_table2_attack_times / bench_defenses / bench_ablation all
+ * drive their sweeps through the campaign runner now; one tiny
+ * campaign per strategy keeps those paths covered.
+ */
+TEST(BenchSmoke, CampaignStrategiesPath)
+{
+    Campaign campaign;
+
+    RunSpec explicitSpec;
+    explicitSpec.label = "explicit";
+    explicitSpec.preset = MachinePreset::TestSmall;
+    explicitSpec.strategy = HammerStrategy::Explicit;
+    explicitSpec.attack = tinyAttack();
+    explicitSpec.attack.hammerBudgetSeconds = 2.0;
+    explicitSpec.explicitBufferBytes = 8ull << 20;
+    campaign.add(explicitSpec);
+
+    RunSpec implicitSpec;
+    implicitSpec.label = "implicit";
+    implicitSpec.preset = MachinePreset::TestSmall;
+    implicitSpec.strategy = HammerStrategy::Implicit;
+    implicitSpec.attack = tinyAttack();
+    implicitSpec.attack.hammerIterations = 200;
+    campaign.add(implicitSpec);
+
+    RunSpec fullSpec;
+    fullSpec.label = "pthammer";
+    fullSpec.preset = MachinePreset::TestSmall;
+    fullSpec.strategy = HammerStrategy::PThammer;
+    fullSpec.attack = tinyAttack();
+    campaign.add(fullSpec);
+
+    CampaignOptions options;
+    options.threads = 3;
+    std::vector<RunResult> results = campaign.run(options);
+    ASSERT_EQ(results.size(), 3u);
+    for (const RunResult &r : results) {
+        EXPECT_TRUE(r.ok) << r.label << ": " << r.error;
+        EXPECT_GT(r.simSeconds, 0.0) << r.label;
+    }
+    EXPECT_EQ(results[0].strategy, "explicit");
+    EXPECT_EQ(results[1].strategy, "implicit");
+    EXPECT_EQ(results[2].strategy, "pthammer");
+
+    Table table = Campaign::summaryTable(results);
+    EXPECT_NE(table.render().find("pthammer"), std::string::npos);
+}
+
+} // namespace
+} // namespace pth
