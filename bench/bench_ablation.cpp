@@ -13,17 +13,16 @@
  * variant is an independent campaign run with a custom measurement
  * body (its own machine, prepared from the same seed), so the five
  * variants fan out across cores and the table is reproducible
- * bit-for-bit. PTH_THREADS overrides the worker count; --json dumps
- * the raw campaign report.
+ * bit-for-bit. Standard bench flags: PTH_THREADS / --threads,
+ * --json, --journal/--fresh (checkpoint/resume).
  */
 
 #include <cstdio>
-#include <cstring>
 
 #include "attack/pthammer.hh"
 #include "common/table.hh"
 #include "cpu/machine.hh"
-#include "harness/campaign.hh"
+#include "harness/bench_cli.hh"
 
 namespace
 {
@@ -112,7 +111,9 @@ measureVariant(const Variant &variant, Machine &machine,
 int
 main(int argc, char **argv)
 {
-    const bool json = argc > 1 && !std::strcmp(argv[1], "--json");
+    BenchCli cli = BenchCli::parse(
+        argc, argv,
+        "Section III-B ablation: eviction stages vs DRAM access");
 
     std::printf("== Ablation: which eviction stage buys the implicit"
                 " DRAM access (Lenovo T420) ==\n");
@@ -141,20 +142,14 @@ main(int argc, char **argv)
         campaign.add(spec);
     }
 
-    CampaignOptions options;
-    options.threads = CampaignOptions::threadsFromEnv();
-    std::vector<RunResult> results = campaign.run(options);
+    std::vector<RunResult> results = campaign.run(cli.options);
+    unsigned failures = BenchCli::reportFailures(results);
 
     Table table({"Variant", "Cycles/iter", "L1PTE-from-DRAM rate",
                  "Aggressor activations / 64 ms"});
-    unsigned failures = 0;
     for (const RunResult &run : results) {
-        if (!run.ok) {
-            ++failures;
-            std::printf("variant %s failed: %s\n", run.label.c_str(),
-                        run.error.c_str());
+        if (!run.ok || BenchCli::staleMetrics(run, 3))
             continue;
-        }
         table.addRow({run.label,
                       strfmt("%.0f", run.metrics[0].second),
                       strfmt("%.2f", run.metrics[1].second),
@@ -172,7 +167,7 @@ main(int argc, char **argv)
                 " removing either eviction stage starves it —"
                 " Section III-B's requirement, quantified\n");
 
-    if (json)
-        std::fputs(Campaign::toJson(results).c_str(), stdout);
+    if (!cli.emitJson(results))
+        return 1;
     return failures ? 1 : 0;
 }

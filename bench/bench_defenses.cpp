@@ -15,23 +15,24 @@
  *  - ZebRAM : guard rows between all data rows — the one defense the
  *             paper concedes PThammer does not overcome.
  *
- * The five defense scenarios run as one campaign across host cores
- * (PTH_THREADS overrides the worker count; --json dumps the raw
- * campaign report).
+ * The five defense scenarios run as one campaign across host cores.
+ * Standard bench flags: PTH_THREADS / --threads, --json,
+ * --journal/--fresh (checkpoint/resume).
  */
 
 #include <cstdio>
-#include <cstring>
 
 #include "common/table.hh"
-#include "harness/campaign.hh"
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace pth;
 
-    const bool json = argc > 1 && !std::strcmp(argv[1], "--json");
+    BenchCli cli = BenchCli::parse(
+        argc, argv,
+        "Section IV-G: PThammer vs software-only defenses");
 
     struct Scenario
     {
@@ -95,23 +96,17 @@ main(int argc, char **argv)
         campaign.add(spec);
     }
 
-    CampaignOptions options;
-    options.threads = CampaignOptions::threadsFromEnv();
-    std::vector<RunResult> results = campaign.run(options);
+    std::vector<RunResult> results = campaign.run(cli.options);
+    unsigned failures = BenchCli::reportFailures(results);
 
     std::printf("== Section IV-G: PThammer vs software-only"
                 " defenses (Lenovo T420) ==\n");
     Table table({"Defense", "Flips observed", "Escalated", "Via",
                  "Flips used", "Paper"});
-    unsigned failures = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunResult &run = results[i];
-        if (!run.ok) {
-            ++failures;
-            std::printf("run %s failed: %s\n", run.label.c_str(),
-                        run.error.c_str());
+        if (!run.ok)
             continue;
-        }
         table.addRow(
             {run.defense,
              strfmt("%llu", static_cast<unsigned long long>(run.flips)),
@@ -122,7 +117,7 @@ main(int argc, char **argv)
     }
     table.print();
 
-    if (json)
-        std::fputs(Campaign::toJson(results).c_str(), stdout);
+    if (!cli.emitJson(results))
+        return 1;
     return failures ? 1 : 0;
 }

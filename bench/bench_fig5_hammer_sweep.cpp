@@ -7,30 +7,28 @@
  * Lenovos, ~1600 on the Dell).
  *
  * The 3 machines x 11 padding levels form one 33-run campaign fanned
- * across host cores (PTH_THREADS overrides the worker count; --json
- * dumps the raw campaign report).
+ * across host cores. Standard bench flags: PTH_THREADS / --threads,
+ * --json, --journal/--fresh (checkpoint/resume).
  */
 
 #include <cstdio>
-#include <cstring>
 
 #include "attack/explicit_hammer.hh"
 #include "common/table.hh"
 #include "cpu/machine.hh"
-#include "harness/campaign.hh"
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace pth;
 
-    const bool json = argc > 1 && !std::strcmp(argv[1], "--json");
+    BenchCli cli = BenchCli::parse(
+        argc, argv,
+        "Figure 5: time to first flip vs hammer iteration cost");
 
     Campaign campaign;
-    const MachinePreset presets[] = {MachinePreset::LenovoT420,
-                                     MachinePreset::LenovoX230,
-                                     MachinePreset::DellE6420};
-    for (MachinePreset preset : presets) {
+    for (MachinePreset preset : paperPresets()) {
         for (unsigned nops = 0; nops <= 1300; nops += 130) {
             RunSpec spec;
             spec.label =
@@ -59,21 +57,15 @@ main(int argc, char **argv)
         }
     }
 
-    CampaignOptions options;
-    options.threads = CampaignOptions::threadsFromEnv();
-    std::vector<RunResult> results = campaign.run(options);
+    std::vector<RunResult> results = campaign.run(cli.options);
+    unsigned failures = BenchCli::reportFailures(results);
 
     std::printf("== Figure 5: seconds to first flip vs cycles per"
                 " hammer iteration ==\n");
     Table table({"Machine", "NOP pad", "Cycles/iter", "First flip"});
-    unsigned failures = 0;
     for (const RunResult &run : results) {
-        if (!run.ok) {
-            ++failures;
-            std::printf("run %s failed: %s\n", run.label.c_str(),
-                        run.error.c_str());
+        if (!run.ok || BenchCli::staleMetrics(run, 2))
             continue;
-        }
         const unsigned nops = campaign.specs()[run.index].nopPadding;
         table.addRow({run.machine, strfmt("%u", nops),
                       strfmt("%.0f", run.metrics[0].second),
@@ -86,7 +78,7 @@ main(int argc, char **argv)
                 " cost; no flips within 2 h beyond ~1500 cycles"
                 " (Lenovos) / ~1600 cycles (Dell)\n");
 
-    if (json)
-        std::fputs(Campaign::toJson(results).c_str(), stdout);
+    if (!cli.emitJson(results))
+        return 1;
     return failures ? 1 : 0;
 }

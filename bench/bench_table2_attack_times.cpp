@@ -8,28 +8,25 @@
  * The six machine x page-size configurations are dispatched through
  * the campaign runner, so they fan out across host cores and the
  * reported rows are identical no matter how many workers ran them.
- * PTH_THREADS overrides the worker count (default: all cores);
- * --json additionally dumps the machine-readable campaign report.
+ * Standard bench flags: PTH_THREADS / --threads, --json,
+ * --journal/--fresh (checkpoint/resume).
  */
 
 #include <cstdio>
-#include <cstring>
 
 #include "common/table.hh"
-#include "harness/campaign.hh"
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace pth;
 
-    const bool json = argc > 1 && !std::strcmp(argv[1], "--json");
+    BenchCli cli = BenchCli::parse(
+        argc, argv, "Table II: average PThammer phase times");
 
     Campaign campaign;
-    const MachinePreset presets[] = {MachinePreset::LenovoT420,
-                                     MachinePreset::LenovoX230,
-                                     MachinePreset::DellE6420};
-    for (MachinePreset preset : presets) {
+    for (MachinePreset preset : paperPresets()) {
         for (bool superpages : {true, false}) {
             RunSpec spec;
             spec.label = machinePresetName(preset) +
@@ -43,22 +40,16 @@ main(int argc, char **argv)
         }
     }
 
-    CampaignOptions options;
-    options.threads = CampaignOptions::threadsFromEnv();
-    std::vector<RunResult> results = campaign.run(options);
+    std::vector<RunResult> results = campaign.run(cli.options);
+    unsigned failures = BenchCli::reportFailures(results);
 
     std::printf("== Table II: average PThammer times ==\n");
     Table table({"Machine", "Page Size", "Prep TLB", "Prep LLC",
                  "Sel TLB", "Sel LLC", "Hammer", "Check",
                  "Time to Bit Flip"});
-    unsigned failures = 0;
     for (const RunResult &run : results) {
-        if (!run.ok) {
-            ++failures;
-            std::printf("run %s failed: %s\n", run.label.c_str(),
-                        run.error.c_str());
+        if (!run.ok)
             continue;
-        }
         const AttackReport &r = run.report;
         table.addRow(
             {r.machine, r.superpages ? "superpage" : "regular",
@@ -90,7 +81,7 @@ main(int argc, char **argv)
                 " host work\n",
                 results.size(), serialEquivalent);
 
-    if (json)
-        std::fputs(Campaign::toJson(results).c_str(), stdout);
+    if (!cli.emitJson(results))
+        return 1;
     return failures ? 1 : 0;
 }

@@ -5,21 +5,24 @@
  * folded into the flip-probability statistics a single run cannot
  * give you. The aggregate (and the JSON report, with --json) is
  * bit-identical to a serial run of the same campaign — rerun with
- * PTH_THREADS=1 to check.
+ * PTH_THREADS=1 to check. Pass --journal sweep.jsonl, kill it
+ * mid-sweep, and rerun with the same flag to watch the campaign
+ * resume from its checkpoint and still print the same fingerprint.
  */
 
 #include <cstdio>
-#include <cstring>
 
 #include "common/table.hh"
-#include "harness/campaign.hh"
+#include "harness/bench_cli.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace pth;
 
-    const bool json = argc > 1 && !std::strcmp(argv[1], "--json");
+    BenchCli cli = BenchCli::parse(
+        argc, argv,
+        "campaign demo: 64-run seed sweep with checkpoint/resume");
 
     RunSpec base;
     base.label = "t420-small";
@@ -34,9 +37,7 @@ main(int argc, char **argv)
     Campaign campaign;
     campaign.addSeedSweep(base, /*seedBase=*/1, /*count=*/64);
 
-    CampaignOptions options;
-    options.threads = CampaignOptions::threadsFromEnv();
-    std::vector<RunResult> results = campaign.run(options);
+    std::vector<RunResult> results = campaign.run(cli.options);
 
     CampaignAggregate agg = Campaign::aggregate(results);
     std::printf("runs          : %llu (%llu failed)\n",
@@ -63,7 +64,7 @@ main(int argc, char **argv)
     std::printf("host work     : %.1f s serial-equivalent\n",
                 serialEquivalent);
 
-    if (json)
-        std::fputs(Campaign::toJson(results).c_str(), stdout);
+    if (!cli.emitJson(results))
+        return 1;
     return agg.failedRuns == 0 ? 0 : 1;
 }

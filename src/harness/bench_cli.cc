@@ -1,0 +1,155 @@
+#include "harness/bench_cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace pth
+{
+
+namespace
+{
+
+void
+usage(const char *prog, const char *summary)
+{
+    std::printf("%s — %s\n\n", prog, summary);
+    std::printf(
+        "usage: %s [--json[=PATH]] [--journal PATH] [--fresh]\n"
+        "       %*s [--threads N]\n\n"
+        "  --json[=PATH]   dump the raw campaign JSON report after\n"
+        "                  the table (stdout, or clean to PATH)\n"
+        "  --journal PATH  checkpoint completed runs to the JSONL\n"
+        "                  journal at PATH; an existing journal is\n"
+        "                  resumed (finished runs are skipped)\n"
+        "  --fresh         with --journal: discard the journal and\n"
+        "                  rerun everything\n"
+        "  --threads N     worker threads (overrides PTH_THREADS;\n"
+        "                  0 = all cores, 1 = serial)\n"
+        "  --help          this text\n",
+        prog, static_cast<int>(std::strlen(prog)), "");
+}
+
+/**
+ * Value of "--flag VALUE" or "--flag=VALUE"; advances i. A following
+ * token that is itself a flag does not count as a value, so
+ * "--journal --fresh" reports a missing value instead of creating a
+ * journal file named "--fresh".
+ */
+const char *
+flagValue(int argc, char **argv, int &i, const char *flag)
+{
+    const std::size_t n = std::strlen(flag);
+    if (!std::strncmp(argv[i], flag, n) && argv[i][n] == '=')
+        return argv[i] + n + 1;
+    if (!std::strcmp(argv[i], flag) && i + 1 < argc &&
+        std::strncmp(argv[i + 1], "--", 2) != 0)
+        return argv[++i];
+    return nullptr;
+}
+
+} // namespace
+
+BenchCli
+BenchCli::parse(int argc, char **argv, const char *summary)
+{
+    BenchCli cli;
+    cli.options.threads = CampaignOptions::threadsFromEnv();
+
+    bool fresh = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+            usage(argv[0], summary);
+            std::exit(0);
+        }
+        if (!std::strcmp(arg, "--json")) {
+            cli.json = true;
+            continue;
+        }
+        if (!std::strncmp(arg, "--json=", 7)) {
+            cli.json = true;
+            cli.jsonPath = arg + 7;
+            continue;
+        }
+        if (!std::strcmp(arg, "--fresh")) {
+            fresh = true;
+            continue;
+        }
+        if (const char *value =
+                flagValue(argc, argv, i, "--journal")) {
+            cli.options.journalPath = value;
+            continue;
+        }
+        if (const char *value =
+                flagValue(argc, argv, i, "--threads")) {
+            long n = std::strtol(value, nullptr, 10);
+            cli.options.threads =
+                n >= 0 ? static_cast<unsigned>(n) : 0;
+            continue;
+        }
+        if (!std::strcmp(arg, "--journal") ||
+            !std::strcmp(arg, "--threads")) {
+            // flagValue only fails for these when the value is gone.
+            std::fprintf(stderr, "%s: missing value for '%s'\n",
+                         argv[0], arg);
+            std::exit(2);
+        }
+        std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                     arg);
+        usage(argv[0], summary);
+        std::exit(2);
+    }
+    cli.options.resume = !fresh;
+    return cli;
+}
+
+unsigned
+BenchCli::reportFailures(const std::vector<RunResult> &results)
+{
+    unsigned failures = 0;
+    for (const RunResult &run : results) {
+        if (run.ok)
+            continue;
+        ++failures;
+        std::printf("run %s failed: %s\n", run.label.c_str(),
+                    run.error.c_str());
+    }
+    return failures;
+}
+
+bool
+BenchCli::staleMetrics(const RunResult &run, std::size_t expected)
+{
+    if (!run.ok || run.metrics.size() >= expected)
+        return false;
+    std::fprintf(stderr,
+                 "run %s: journal entry has %zu metrics, this bench"
+                 " expects %zu — stale journal (body changed?);"
+                 " rerun with --fresh\n",
+                 run.label.c_str(), run.metrics.size(), expected);
+    return true;
+}
+
+bool
+BenchCli::emitJson(const std::vector<RunResult> &results) const
+{
+    if (!json)
+        return true;
+    const std::string report = Campaign::toJson(results);
+    if (jsonPath.empty()) {
+        std::fputs(report.c_str(), stdout);
+        return true;
+    }
+    std::ofstream out(jsonPath, std::ios::out | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write JSON report to %s\n",
+                     jsonPath.c_str());
+        return false;
+    }
+    out << report;
+    return true;
+}
+
+} // namespace pth

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The command-line front end shared by every campaign-driven bench
+ * binary, so the whole bench suite speaks one dialect:
+ *
+ *   --json[=PATH]   dump the raw campaign JSON report after the
+ *                   summary table (stdout, or clean to PATH)
+ *   --journal PATH  checkpoint completed runs to the JSONL journal
+ *                   at PATH and resume from it when it exists
+ *   --fresh         with --journal: discard the journal and rerun
+ *                   everything
+ *   --threads N     worker count (overrides PTH_THREADS; 0 = all
+ *                   cores, 1 = serial)
+ *   --help          usage
+ *
+ * Defaults: threads from PTH_THREADS (all cores when unset), no
+ * journal, no JSON. parse() exits the process on --help (status 0)
+ * and on unknown arguments (status 2), so benches stay one-liners.
+ */
+
+#ifndef PTH_HARNESS_BENCH_CLI_HH
+#define PTH_HARNESS_BENCH_CLI_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hh"
+
+namespace pth
+{
+
+/** Parsed bench command line. */
+struct BenchCli
+{
+    /** Ready-to-use campaign options (threads, journal, resume). */
+    CampaignOptions options;
+
+    bool json = false;      //!< --json given
+    std::string jsonPath;   //!< --json=PATH target; empty = stdout
+
+    /**
+     * Parse the standard bench flags. summary is the one-line
+     * description printed by --help.
+     */
+    static BenchCli parse(int argc, char **argv, const char *summary);
+
+    /**
+     * Print "run X failed: ..." for every failed run and return the
+     * failure count (the bench's exit status is nonzero when > 0 —
+     * failure isolation: the sweep completes, the process still
+     * reports the breakage).
+     */
+    static unsigned
+    reportFailures(const std::vector<RunResult> &results);
+
+    /**
+     * Honor --json: render Campaign::toJson(results) to stdout or to
+     * the --json=PATH file. Returns false (with a message on stderr)
+     * when the file cannot be written.
+     */
+    bool emitJson(const std::vector<RunResult> &results) const;
+
+    /**
+     * True when an ok run carries fewer metrics than this bench's
+     * body records — a resumed journal entry from an older body
+     * shape (the spec key cannot see body edits). Prints a
+     * "rerun with --fresh" warning so the dropped table row is
+     * explained rather than silent.
+     */
+    static bool staleMetrics(const RunResult &run,
+                             std::size_t expected);
+};
+
+} // namespace pth
+
+#endif // PTH_HARNESS_BENCH_CLI_HH

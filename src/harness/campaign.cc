@@ -3,13 +3,16 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <sstream>
 #include <utility>
 
 #include "attack/explicit_hammer.hh"
 #include "attack/pthammer.hh"
+#include "common/json.hh"
 #include "common/table.hh"
 #include "cpu/machine.hh"
+#include "harness/result_store.hh"
 #include "harness/thread_pool.hh"
 
 namespace pth
@@ -27,20 +30,6 @@ enum SeedStream : std::uint64_t
     kStreamTlbL2 = 4,
     kStreamAttack = 5,
 };
-
-/** Minimal JSON string escaping (labels/names are ASCII). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
 
 /** Fill the result fields shared by every strategy. */
 void
@@ -111,6 +100,15 @@ machinePresetName(MachinePreset preset)
     case MachinePreset::TestSmall: return "test-small";
     }
     return "unknown";
+}
+
+const std::array<MachinePreset, 3> &
+paperPresets()
+{
+    static const std::array<MachinePreset, 3> presets = {
+        MachinePreset::LenovoT420, MachinePreset::LenovoX230,
+        MachinePreset::DellE6420};
+    return presets;
 }
 
 std::string
@@ -238,31 +236,69 @@ Campaign::runOne(const RunSpec &spec, std::size_t index)
 std::vector<RunResult>
 Campaign::run(const CampaignOptions &options) const
 {
-    std::vector<RunResult> results;
-    results.reserve(specs_.size());
+    const std::size_t n = specs_.size();
+    std::vector<RunResult> results(n);
+    std::vector<char> cached(n, 0);
+
+    // Checkpointing: load completed runs from the journal (resume)
+    // and open it for appending the rest. Only an ok result whose
+    // stored spec key matches the spec at the same index is reused;
+    // anything else — corrupt line, edited spec, failed run — is
+    // simply executed again.
+    std::unique_ptr<ResultStore> store;
+    std::vector<std::uint64_t> keys;
+    if (!options.journalPath.empty()) {
+        keys.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            keys[i] = specKey(specs_[i]);
+        if (options.resume) {
+            auto done = ResultStore::load(options.journalPath);
+            for (auto &item : done) {
+                const std::size_t index = item.first;
+                ResultStore::Entry &entry = item.second;
+                if (index < n && entry.key == keys[index] &&
+                    entry.result.ok) {
+                    results[index] = std::move(entry.result);
+                    cached[index] = 1;
+                }
+            }
+        }
+        store = std::make_unique<ResultStore>(options.journalPath,
+                                              /*truncate=*/
+                                              !options.resume);
+    }
+
+    // Workers journal their own results the moment a run finishes,
+    // so the checkpoint granularity is one run even under a pool.
+    auto executeOne = [this, &store, &keys](std::size_t i) {
+        RunResult result = runOne(specs_[i], i);
+        if (store)
+            store->record(result, keys[i]);
+        return result;
+    };
 
     if (options.threads == 1) {
-        for (std::size_t i = 0; i < specs_.size(); ++i) {
-            results.push_back(runOne(specs_[i], i));
-            if (options.rethrow && !results.back().ok)
-                throw std::runtime_error(results.back().error);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!cached[i])
+                results[i] = executeOne(i);
+            if (options.rethrow && !results[i].ok)
+                throw std::runtime_error(results[i].error);
         }
         return results;
     }
 
     ThreadPool pool(options.threads);
-    std::vector<std::future<RunResult>> futures;
-    futures.reserve(specs_.size());
-    for (std::size_t i = 0; i < specs_.size(); ++i) {
-        const RunSpec &spec = specs_[i];
-        futures.push_back(
-            pool.submit([&spec, i] { return runOne(spec, i); }));
-    }
+    std::vector<std::future<RunResult>> futures(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (!cached[i])
+            futures[i] =
+                pool.submit([&executeOne, i] { return executeOne(i); });
     // Joining in submission order makes completion order irrelevant.
-    for (std::future<RunResult> &future : futures) {
-        results.push_back(future.get());
-        if (options.rethrow && !results.back().ok)
-            throw std::runtime_error(results.back().error);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!cached[i])
+            results[i] = futures[i].get();
+        if (options.rethrow && !results[i].ok)
+            throw std::runtime_error(results[i].error);
     }
     return results;
 }

@@ -10,11 +10,20 @@
  * campaign's output is bit-identical serial vs. parallel. Results are
  * returned and aggregated in submission (index) order regardless of
  * worker completion order.
+ *
+ * With CampaignOptions::journalPath set, every completed run is also
+ * checkpointed to an append-only JSONL journal (see result_store.hh);
+ * a campaign that was killed mid-sweep resumes from the journal,
+ * skips the runs it already finished, and — because results are
+ * merged back in index order and the journal round-trips every
+ * report-feeding field exactly — produces a byte-identical JSON
+ * report to an uninterrupted run.
  */
 
 #ifndef PTH_HARNESS_CAMPAIGN_HH
 #define PTH_HARNESS_CAMPAIGN_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -44,6 +53,10 @@ enum class HammerStrategy
 
 /** Human-readable preset name (matches MachineConfig::name). */
 std::string machinePresetName(MachinePreset preset);
+
+/** The three evaluated Table-I machines, in the paper's order — the
+ * sweep axis every per-machine bench iterates. */
+const std::array<MachinePreset, 3> &paperPresets();
 
 /** Human-readable strategy name. */
 std::string hammerStrategyName(HammerStrategy strategy);
@@ -112,6 +125,25 @@ struct CampaignOptions
      * RunResult (ok = false) and the sweep continues.
      */
     bool rethrow = false;
+
+    /**
+     * When non-empty, checkpoint the campaign to the JSONL journal
+     * at this path: every completed run is appended (and flushed) as
+     * it finishes, so an interruption loses at most the runs still
+     * in flight. See result_store.hh for the journal contract.
+     */
+    std::string journalPath;
+
+    /**
+     * With a journalPath: load the journal before running and skip
+     * every run whose stored spec key matches the current spec at
+     * the same index (failed runs are always re-executed). The
+     * merged results are returned in index order as usual, so a
+     * resumed campaign's aggregate/JSON/table output is
+     * byte-identical to an uninterrupted run's. Set to false to
+     * discard the journal and start fresh.
+     */
+    bool resume = true;
 };
 
 /** A set of runs executed together. */
@@ -140,7 +172,9 @@ class Campaign
     /**
      * Execute every queued run and return results in index order.
      * threads == 1 runs inline; otherwise runs are submitted to a
-     * ThreadPool and joined in order.
+     * ThreadPool and joined in order. With options.journalPath the
+     * campaign checkpoints each completed run and, when resuming,
+     * only executes runs the journal does not already hold.
      */
     std::vector<RunResult> run(const CampaignOptions &options = {}) const;
 

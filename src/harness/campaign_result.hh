@@ -9,6 +9,11 @@
  * wall-clock lives in a separate field that reports exclude — so a
  * campaign's output is bit-identical whether it ran on one worker or
  * eight.
+ *
+ * Every field of RunResult (and its embedded AttackReport) also
+ * round-trips exactly through the result-store journal (see
+ * result_store.hh); adding a field here means adding it to the
+ * journal serialization, or resumed campaigns will drop it.
  */
 
 #ifndef PTH_HARNESS_CAMPAIGN_RESULT_HH

@@ -1,0 +1,353 @@
+#include "harness/result_store.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hh"
+#include "common/table.hh"
+#include "harness/campaign.hh"
+
+namespace pth
+{
+
+namespace
+{
+
+/** Fold a string into the hash, length-prefixed. */
+std::uint64_t
+mixString(std::uint64_t h, const std::string &s)
+{
+    h = hashCombine(h, s.size());
+    for (char c : s)
+        h = hashCombine(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+/** Fold a double's bit pattern into the hash. */
+std::uint64_t
+mixDouble(std::uint64_t h, double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return hashCombine(h, bits);
+}
+
+void
+writeString(std::ostream &out, const char *name, const std::string &v,
+            bool comma = true)
+{
+    out << '"' << name << "\": \"" << jsonEscape(v) << '"'
+        << (comma ? ", " : "");
+}
+
+void
+writeBool(std::ostream &out, const char *name, bool v,
+          bool comma = true)
+{
+    out << '"' << name << "\": " << (v ? "true" : "false")
+        << (comma ? ", " : "");
+}
+
+void
+writeU64(std::ostream &out, const char *name, std::uint64_t v,
+         bool comma = true)
+{
+    out << '"' << name << "\": " << v << (comma ? ", " : "");
+}
+
+void
+writeDouble(std::ostream &out, const char *name, double v,
+            bool comma = true)
+{
+    out << '"' << name << "\": " << jsonDouble(v)
+        << (comma ? ", " : "");
+}
+
+/** Fetch a required member; sets ok = false when absent. */
+const JsonValue *
+need(const JsonValue &obj, const char *name, bool &ok)
+{
+    const JsonValue *v = obj.find(name);
+    if (!v)
+        ok = false;
+    return v;
+}
+
+// The getters are strict: a present-but-mistyped field marks the
+// line corrupt (ok = false) rather than decaying to zero/false and
+// letting a mangled journal entry masquerade as a completed run.
+
+std::string
+getString(const JsonValue &obj, const char *name, bool &ok)
+{
+    const JsonValue *v = need(obj, name, ok);
+    if (v && !v->isString())
+        ok = false;
+    return v && v->isString() ? v->asString() : std::string();
+}
+
+bool
+getBool(const JsonValue &obj, const char *name, bool &ok)
+{
+    const JsonValue *v = need(obj, name, ok);
+    if (v && v->kind() != JsonValue::Kind::Bool)
+        ok = false;
+    return v ? v->asBool() : false;
+}
+
+std::uint64_t
+getU64(const JsonValue &obj, const char *name, bool &ok)
+{
+    const JsonValue *v = need(obj, name, ok);
+    if (v && !v->isNumber())
+        ok = false;
+    return v ? v->asU64() : 0;
+}
+
+/**
+ * A JSON number, or one of the quoted non-finite tokens jsonDouble
+ * emits ("nan"/"inf"/"-inf", read back with strtod).
+ */
+bool
+numberValue(const JsonValue &v, double &out)
+{
+    if (v.isNumber()) {
+        out = v.asDouble();
+        return true;
+    }
+    if (v.isString()) {
+        const std::string &s = v.asString();
+        if (s == "nan" || s == "inf" || s == "-inf") {
+            out = std::strtod(s.c_str(), nullptr);
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+getDouble(const JsonValue &obj, const char *name, bool &ok)
+{
+    const JsonValue *v = need(obj, name, ok);
+    double value = 0.0;
+    if (v && !numberValue(*v, value))
+        ok = false;
+    return value;
+}
+
+} // namespace
+
+std::uint64_t
+specKey(const RunSpec &spec)
+{
+    std::uint64_t h = 0x9e5717;
+    h = mixString(h, spec.label);
+    h = hashCombine(h, static_cast<std::uint64_t>(spec.preset),
+                    static_cast<std::uint64_t>(spec.defense),
+                    static_cast<std::uint64_t>(spec.strategy));
+    h = hashCombine(h, spec.seed, spec.nopPadding,
+                    spec.explicitBufferBytes);
+    h = hashCombine(h, spec.tweakMachine ? 1 : 0, spec.body ? 1 : 0);
+
+    const AttackConfig &a = spec.attack;
+    h = hashCombine(h, a.superpages, a.sprayBytes, a.userSharedFrames);
+    h = hashCombine(h, a.tlbProfileCount, a.tlbPoolFactor,
+                    a.llcSelectCount);
+    h = hashCombine(h, a.llcSelectDetailedCount,
+                    a.superpageSampleClasses, a.regularSampleClasses);
+    h = hashCombine(h, a.regularSampleGroups, a.llcBuildRepeats,
+                    a.llcSetSizeMargin);
+    h = hashCombine(h, a.tlbSetSizeMargin, a.hammerIterations,
+                    a.hammerWarmupIterations);
+    h = hashCombine(h, a.bankProbeCount, a.maxAttempts,
+                    a.timingNoiseCycles);
+    h = mixDouble(h, a.hammerBudgetSeconds);
+    h = mixDouble(h, a.timingNoiseProbability);
+    h = mixDouble(h, a.exhaustKernelFraction);
+    h = hashCombine(h, a.checkCyclesPerPage, a.credSprayProcesses,
+                    a.seed);
+    h = hashCombine(h, a.userDataBase, a.sprayBase, a.tlbPoolBase);
+    h = hashCombine(h, a.llcBufferBase, a.scratchBase);
+    return h;
+}
+
+ResultStore::ResultStore(const std::string &path, bool truncate)
+    : path_(path)
+{
+    out_.open(path_, truncate ? (std::ios::out | std::ios::trunc)
+                              : (std::ios::out | std::ios::app));
+    if (!out_)
+        throw std::runtime_error("cannot open campaign journal: " +
+                                 path_);
+}
+
+void
+ResultStore::record(const RunResult &result, std::uint64_t key)
+{
+    std::string line = serialize(result, key);
+    std::lock_guard<std::mutex> lock(mtx_);
+    out_ << line << '\n';
+    out_.flush();
+}
+
+std::string
+ResultStore::serialize(const RunResult &r, std::uint64_t key)
+{
+    std::ostringstream out;
+    out << '{';
+    writeU64(out, "v", 1);
+    out << "\"key\": \""
+        << strfmt("%016llx", static_cast<unsigned long long>(key))
+        << "\", ";
+    writeU64(out, "index", r.index);
+    writeString(out, "label", r.label);
+    writeString(out, "machine", r.machine);
+    writeString(out, "defense", r.defense);
+    writeString(out, "strategy", r.strategy);
+    writeU64(out, "seed", r.seed);
+    writeBool(out, "ok", r.ok);
+    writeString(out, "error", r.error);
+    writeBool(out, "flipped", r.flipped);
+    writeBool(out, "escalated", r.escalated);
+    writeU64(out, "flips", r.flips);
+    writeU64(out, "attempts", r.attempts);
+    writeU64(out, "flips_until_escalation", r.flipsUntilEscalation);
+    writeString(out, "exploit_path", r.exploitPath);
+    writeDouble(out, "sim_seconds", r.simSeconds);
+    writeDouble(out, "wall_seconds", r.wallSeconds);
+
+    out << "\"metrics\": [";
+    for (std::size_t i = 0; i < r.metrics.size(); ++i)
+        out << (i ? ", " : "") << "[\""
+            << jsonEscape(r.metrics[i].first) << "\", "
+            << jsonDouble(r.metrics[i].second) << ']';
+    out << "], ";
+
+    const AttackReport &rep = r.report;
+    out << "\"report\": {";
+    writeString(out, "machine", rep.machine);
+    writeBool(out, "superpages", rep.superpages);
+    writeString(out, "defense", rep.defense);
+    writeDouble(out, "spray_ms", rep.sprayMs);
+    writeDouble(out, "tlb_prep_ms", rep.tlbPrepMs);
+    writeDouble(out, "llc_prep_minutes", rep.llcPrepMinutes);
+    writeDouble(out, "tlb_select_micros", rep.tlbSelectMicros);
+    writeDouble(out, "llc_select_ms", rep.llcSelectMs);
+    writeDouble(out, "hammer_ms", rep.hammerMs);
+    writeDouble(out, "check_seconds", rep.checkSeconds);
+    writeDouble(out, "time_to_flip_minutes",
+                rep.timeToFirstFlipMinutes);
+    writeBool(out, "flipped", rep.flipped);
+    writeBool(out, "escalated", rep.escalated);
+    writeU64(out, "attempts", rep.attempts);
+    writeU64(out, "flips_observed", rep.flipsObserved);
+    writeU64(out, "flips_until_escalation", rep.flipsUntilEscalation);
+    writeString(out, "exploit_path", rep.exploitPath,
+                /*comma=*/false);
+    out << "}}";
+    return out.str();
+}
+
+bool
+ResultStore::deserialize(const std::string &line, Entry &out)
+{
+    JsonValue doc;
+    if (!JsonValue::parse(line, doc) || !doc.isObject())
+        return false;
+
+    bool ok = true;
+    if (getU64(doc, "v", ok) != 1)
+        return false;
+
+    const JsonValue *keyField = doc.find("key");
+    if (!keyField || !keyField->isString())
+        return false;
+    Entry entry;
+    entry.key =
+        std::strtoull(keyField->asString().c_str(), nullptr, 16);
+
+    RunResult &r = entry.result;
+    r.index = getU64(doc, "index", ok);
+    r.label = getString(doc, "label", ok);
+    r.machine = getString(doc, "machine", ok);
+    r.defense = getString(doc, "defense", ok);
+    r.strategy = getString(doc, "strategy", ok);
+    r.seed = getU64(doc, "seed", ok);
+    r.ok = getBool(doc, "ok", ok);
+    r.error = getString(doc, "error", ok);
+    r.flipped = getBool(doc, "flipped", ok);
+    r.escalated = getBool(doc, "escalated", ok);
+    r.flips = getU64(doc, "flips", ok);
+    r.attempts = static_cast<unsigned>(getU64(doc, "attempts", ok));
+    r.flipsUntilEscalation = static_cast<unsigned>(
+        getU64(doc, "flips_until_escalation", ok));
+    r.exploitPath = getString(doc, "exploit_path", ok);
+    r.simSeconds = getDouble(doc, "sim_seconds", ok);
+    r.wallSeconds = getDouble(doc, "wall_seconds", ok);
+
+    const JsonValue *metrics = doc.find("metrics");
+    if (!metrics || !metrics->isArray())
+        return false;
+    for (const JsonValue &item : metrics->items()) {
+        double value = 0.0;
+        if (!item.isArray() || item.items().size() != 2 ||
+            !item.items()[0].isString() ||
+            !numberValue(item.items()[1], value))
+            return false;
+        r.metrics.emplace_back(item.items()[0].asString(), value);
+    }
+
+    const JsonValue *report = doc.find("report");
+    if (!report || !report->isObject())
+        return false;
+    AttackReport &rep = r.report;
+    rep.machine = getString(*report, "machine", ok);
+    rep.superpages = getBool(*report, "superpages", ok);
+    rep.defense = getString(*report, "defense", ok);
+    rep.sprayMs = getDouble(*report, "spray_ms", ok);
+    rep.tlbPrepMs = getDouble(*report, "tlb_prep_ms", ok);
+    rep.llcPrepMinutes = getDouble(*report, "llc_prep_minutes", ok);
+    rep.tlbSelectMicros =
+        getDouble(*report, "tlb_select_micros", ok);
+    rep.llcSelectMs = getDouble(*report, "llc_select_ms", ok);
+    rep.hammerMs = getDouble(*report, "hammer_ms", ok);
+    rep.checkSeconds = getDouble(*report, "check_seconds", ok);
+    rep.timeToFirstFlipMinutes =
+        getDouble(*report, "time_to_flip_minutes", ok);
+    rep.flipped = getBool(*report, "flipped", ok);
+    rep.escalated = getBool(*report, "escalated", ok);
+    rep.attempts =
+        static_cast<unsigned>(getU64(*report, "attempts", ok));
+    rep.flipsObserved =
+        static_cast<unsigned>(getU64(*report, "flips_observed", ok));
+    rep.flipsUntilEscalation = static_cast<unsigned>(
+        getU64(*report, "flips_until_escalation", ok));
+    rep.exploitPath = getString(*report, "exploit_path", ok);
+
+    if (!ok)
+        return false;
+    out = std::move(entry);
+    return true;
+}
+
+std::map<std::size_t, ResultStore::Entry>
+ResultStore::load(const std::string &path)
+{
+    std::map<std::size_t, Entry> entries;
+    std::ifstream in(path);
+    if (!in)
+        return entries;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        Entry entry;
+        if (deserialize(line, entry))
+            entries[entry.result.index] = std::move(entry);
+    }
+    return entries;
+}
+
+} // namespace pth

@@ -7,7 +7,10 @@
  * come back through std::future, so a worker that throws propagates
  * the error to whoever joins the campaign instead of killing the
  * process. Shutdown drains the queue: every task submitted before
- * shutdown() (or destruction) runs to completion.
+ * shutdown() (or destruction) runs to completion — which is also why
+ * a checkpointing campaign may journal a few more runs than its
+ * caller ever sees when it aborts early (rethrow): those runs are
+ * not lost, a resume picks them up.
  */
 
 #ifndef PTH_HARNESS_THREAD_POOL_HH

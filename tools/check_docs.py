@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Docs consistency checks, run by the CI docs job and locally.
+
+1. Markdown link check: every relative link in the repo's *.md files
+   must point at an existing file or directory.
+2. Reproduce-table coverage: every binary CMake builds (benches,
+   examples, tools) must be mentioned in README.md, so the per-binary
+   reproduce table cannot silently fall behind the build.
+
+Exits nonzero (with a line per problem) when anything fails.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# PAPERS.md / SNIPPETS.md are retrieval artifacts (their links point
+# into the papers they were extracted from); only maintained docs are
+# checked.
+SKIP = {"PAPERS.md", "SNIPPETS.md", "PAPER.md"}
+
+MD_FILES = sorted(
+    p
+    for p in list(ROOT.glob("*.md")) + list((ROOT / "docs").glob("*.md"))
+    if "build" not in p.parts and p.name not in SKIP
+)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_links() -> list:
+    problems = []
+    for md in MD_FILES:
+        text = md.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(ROOT)}: broken link -> {target}"
+                )
+    return problems
+
+
+def built_binaries() -> list:
+    """Every binary name the build produces, parsed from CMakeLists."""
+    names = []
+
+    bench_lists = (ROOT / "bench" / "CMakeLists.txt").read_text()
+    in_list = False
+    for line in bench_lists.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("set(PTH_BENCHES"):
+            in_list = True
+            continue
+        if in_list:
+            if stripped == ")":
+                in_list = False
+                continue
+            if stripped and not stripped.startswith("#"):
+                names.append(stripped)
+    names += re.findall(r"add_executable\((\w+)", bench_lists)
+
+    example_lists = (ROOT / "examples" / "CMakeLists.txt").read_text()
+    for match in re.finditer(
+        r"set\(PTH_EXAMPLES(.*?)\)", example_lists, re.S
+    ):
+        for token in match.group(1).split():
+            if not token.startswith("#"):
+                names.append(f"example_{token}")
+
+    tools_lists = (ROOT / "tools" / "CMakeLists.txt").read_text()
+    names += re.findall(r"add_executable\((\w+)", tools_lists)
+
+    return sorted(set(names))
+
+
+def check_readme_table() -> list:
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    problems = []
+    for name in built_binaries():
+        if name not in readme:
+            problems.append(
+                f"README.md: binary '{name}' has no reproduce-table row"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_readme_table()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} docs problem(s)")
+        return 1
+    print(
+        f"docs OK: {len(MD_FILES)} markdown files, "
+        f"{len(built_binaries())} binaries covered"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
