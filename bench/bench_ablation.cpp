@@ -132,6 +132,7 @@ main(int argc, char **argv)
         spec.label = variant.name;
         spec.preset = MachinePreset::LenovoT420;
         spec.attack.superpages = true;
+        spec.attack.poolBuild = cli.pool;
         spec.attack.sprayBytes = 256ull << 20;
         spec.attack.superpageSampleClasses = 4;
         spec.body = [variant](Machine &machine,

@@ -54,6 +54,7 @@ main(int argc, char **argv)
         spec.preset = MachinePreset::LenovoT420;
         spec.defense = scenario.kind;
         spec.strategy = HammerStrategy::PThammer;
+        spec.attack.poolBuild = cli.pool;
         const DefenseKind kind = scenario.kind;
         spec.tweakMachine = [kind](MachineConfig &config) {
             // Denser weak cells keep the host-side bench fast while

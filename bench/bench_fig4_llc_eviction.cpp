@@ -41,6 +41,7 @@ main(int argc, char **argv)
         spec.label = machinePresetName(preset);
         spec.preset = preset;
         spec.attack.superpages = true;
+        spec.attack.poolBuild = cli.pool;
         spec.body = [](Machine &machine, const AttackConfig &attack,
                        RunResult &res) {
             Process &proc = machine.kernel().createProcess(1000);

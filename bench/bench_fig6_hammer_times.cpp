@@ -36,6 +36,7 @@ main(int argc, char **argv)
                          (superpages ? "/superpage" : "/default");
             spec.preset = preset;
             spec.attack.superpages = superpages;
+            spec.attack.poolBuild = cli.pool;
             spec.attack.sprayBytes = 512ull << 20;
             spec.attack.regularSampleClasses = 1;
             spec.attack.regularSampleGroups = 2;

@@ -31,6 +31,7 @@ main(int argc, char **argv)
         spec.label = machinePresetName(preset);
         spec.preset = preset;
         spec.attack.superpages = true;
+        spec.attack.poolBuild = cli.pool;
         spec.attack.sprayBytes = 512ull << 20;
         spec.body = [](Machine &machine, const AttackConfig &attack,
                        RunResult &res) {

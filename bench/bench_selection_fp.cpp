@@ -37,6 +37,7 @@ main(int argc, char **argv)
                          (superpages ? "/superpage" : "/regular");
             spec.preset = preset;
             spec.attack.superpages = superpages;
+            spec.attack.poolBuild = cli.pool;
             spec.attack.sprayBytes = 256ull << 20;
             spec.attack.regularSampleClasses = 1;
             spec.attack.regularSampleGroups = 2;

@@ -34,6 +34,7 @@ main(int argc, char **argv)
             spec.preset = preset;
             spec.strategy = HammerStrategy::PThammer;
             spec.attack.superpages = superpages;
+            spec.attack.poolBuild = cli.pool;
             spec.attack.sprayBytes = 2ull << 30;
             spec.attack.maxAttempts = 450;
             campaign.add(spec);

@@ -8,11 +8,64 @@
 #define PTH_ATTACK_ATTACK_CONFIG_HH
 
 #include <cstdint>
+#include <cstring>
 
 #include "common/types.hh"
 
 namespace pth
 {
+
+/** How LlcEvictionPool reduces candidate sets to eviction sets. */
+enum class PoolBuildAlgorithm
+{
+    /** The paper's baseline: drop one candidate per conflict test,
+     * O(N^2) tests per class. */
+    SingleElimination,
+
+    /** Binary-split group testing (Vila et al. style): discard whole
+     * chunks of the working set per conflict test, O(ways * N)
+     * accesses per class, plus a batched one-pass membership
+     * classification of the remaining candidates. */
+    GroupTesting,
+};
+
+/** Pool-construction execution knobs. */
+struct PoolBuildOptions
+{
+    PoolBuildAlgorithm algorithm = PoolBuildAlgorithm::GroupTesting;
+
+    /** Worker threads for per-class extraction (group-testing path
+     * only): 1 = serial, 0 = one per hardware thread. The built pool
+     * is byte-identical regardless of the worker count. */
+    unsigned threads = 1;
+};
+
+/** Stable CLI/report name of a pool-build algorithm. */
+inline const char *
+poolBuildAlgorithmName(PoolBuildAlgorithm algorithm)
+{
+    return algorithm == PoolBuildAlgorithm::SingleElimination
+               ? "single-elimination"
+               : "group-testing";
+}
+
+/** Parse a pool-build algorithm name ("single[-elimination]" or
+ * "group[-testing]"). @return false on an unknown name. */
+inline bool
+parsePoolBuildAlgorithm(const char *text, PoolBuildAlgorithm &out)
+{
+    if (!std::strcmp(text, "single-elimination") ||
+        !std::strcmp(text, "single")) {
+        out = PoolBuildAlgorithm::SingleElimination;
+        return true;
+    }
+    if (!std::strcmp(text, "group-testing") ||
+        !std::strcmp(text, "group")) {
+        out = PoolBuildAlgorithm::GroupTesting;
+        return true;
+    }
+    return false;
+}
 
 /** PThammer configuration. */
 struct AttackConfig
@@ -49,6 +102,9 @@ struct AttackConfig
 
     /** 'evicts' test repetitions during pool construction. */
     unsigned llcBuildRepeats = 6;
+
+    /** Pool-construction algorithm and extraction worker count. */
+    PoolBuildOptions poolBuild;
 
     /** Extra lines beyond LLC associativity in a working set
      * (paper: one larger). */

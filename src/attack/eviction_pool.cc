@@ -1,11 +1,14 @@
 #include "attack/eviction_pool.hh"
 
 #include <algorithm>
+#include <future>
 #include <map>
 #include <set>
 
+#include "attack/pool_build.hh"
 #include "common/logging.hh"
 #include "cpu/machine.hh"
+#include "harness/thread_pool.hh"
 
 namespace pth
 {
@@ -66,6 +69,9 @@ LlcEvictionPool::evicts(VirtAddr x, const std::vector<VirtAddr> &set)
         if (probe.timeAccess(x) > probe.dramThreshold())
             ++positive;
     }
+    ++machineConflictTests;
+    machineLineAccesses += static_cast<std::uint64_t>(cfg.llcBuildRepeats) *
+                           (2 + set.size());
     return positive * 2 > cfg.llcBuildRepeats;
 }
 
@@ -137,6 +143,81 @@ LlcEvictionPool::extractGroups(std::vector<VirtAddr> candidates,
     return extracted;
 }
 
+LlcEvictionPool::ExtractionStats
+LlcEvictionPool::extractClasses(
+    const std::vector<std::vector<VirtAddr>> &buckets,
+    unsigned classesSampled, bool hintFromBucket,
+    unsigned maxGroupsPerClass)
+{
+    ExtractionStats stats;
+    stats.groupsDone.reserve(classesSampled);
+
+    if (cfg.poolBuild.algorithm ==
+        PoolBuildAlgorithm::SingleElimination) {
+        const Cycles start = m.clock().now();
+        const std::uint64_t tests0 = machineConflictTests;
+        const std::uint64_t accesses0 = machineLineAccesses;
+        for (unsigned cls = 0; cls < classesSampled; ++cls)
+            stats.groupsDone.push_back(
+                extractGroups(buckets[cls], hintFromBucket ? cls : ~0ull,
+                              maxGroupsPerClass));
+        stats.cycles = m.clock().now() - start;
+        stats.conflictTests = machineConflictTests - tests0;
+        stats.lineAccesses = machineLineAccesses - accesses0;
+        return stats;
+    }
+
+    // Group-testing path: every class runs on a private conflict
+    // tester addressed with the buffer's real physical lines and
+    // seeded from (attack seed, class ordinal), so class results are
+    // independent of scheduling and the index-ordered merge below
+    // yields a byte-identical pool serial vs. multi-threaded.
+    const std::uint64_t mask = setIndexMask(m);
+    std::vector<std::vector<PhysAddr>> phys(classesSampled);
+    for (unsigned cls = 0; cls < classesSampled; ++cls) {
+        phys[cls].reserve(buckets[cls].size());
+        for (VirtAddr line : buckets[cls])
+            phys[cls].push_back(linePhys(line) % m.memory().size());
+    }
+
+    auto runClass = [&](unsigned cls) {
+        return extractClassGroupTesting(
+            m.config(), cfg, buckets[cls], phys[cls],
+            hintFromBucket ? cls : ~0ull, mask, maxGroupsPerClass,
+            hashCombine(cfg.seed, 0x9001, cls));
+    };
+
+    std::vector<ClassExtraction> extractions(classesSampled);
+    if (cfg.poolBuild.threads == 1) {
+        for (unsigned cls = 0; cls < classesSampled; ++cls)
+            extractions[cls] = runClass(cls);
+    } else {
+        ThreadPool workers(cfg.poolBuild.threads);
+        std::vector<std::future<ClassExtraction>> futures;
+        futures.reserve(classesSampled);
+        for (unsigned cls = 0; cls < classesSampled; ++cls)
+            futures.push_back(
+                workers.submit([&runClass, cls] { return runClass(cls); }));
+        for (unsigned cls = 0; cls < classesSampled; ++cls)
+            extractions[cls] = futures[cls].get();
+    }
+
+    for (ClassExtraction &extraction : extractions) {
+        stats.groupsDone.push_back(
+            static_cast<unsigned>(extraction.sets.size()));
+        stats.cycles += extraction.cycles;
+        stats.conflictTests += extraction.counters.conflictTests;
+        stats.lineAccesses += extraction.counters.lineAccesses;
+        for (EvictionSet &set : extraction.sets)
+            pool.push_back(std::move(set));
+    }
+    // Pool construction is one serial attacker phase: its cost is the
+    // sum of the per-class costs no matter how many host workers
+    // simulated it. Charge the machine clock accordingly.
+    m.clock().advance(stats.cycles);
+    return stats;
+}
+
 void
 LlcEvictionPool::oracleFill()
 {
@@ -187,17 +268,25 @@ LlcEvictionPool::buildSuperpage(unsigned sampleClasses)
                                 : std::min<unsigned>(sampleClasses,
                                                      report.classesTotal);
 
+    report.algorithm = cfg.poolBuild.algorithm;
+    report.threads = cfg.poolBuild.threads;
+
     // Bucket lines by their (known, bits 6-16) class in one pass.
     std::vector<std::vector<VirtAddr>> buckets(mask + 1);
     for (VirtAddr line : bufferLines)
         buckets[(line >> kLineShift) & mask].push_back(line);
 
-    Cycles start = m.clock().now();
-    for (unsigned cls = 0; cls < report.classesSampled; ++cls)
-        extractGroups(buckets[cls], cls, 0);
-    report.sampledCycles = m.clock().now() - start;
-    report.extrapolatedCycles =
-        report.sampledCycles * report.classesTotal / report.classesSampled;
+    ExtractionStats stats = extractClasses(
+        buckets, report.classesSampled, /*hintFromBucket=*/true, 0);
+    report.sampledCycles = stats.cycles;
+    report.conflictTests = stats.conflictTests;
+    report.lineAccesses = stats.lineAccesses;
+    // Superpage classes all do the same work; scale linearly. The
+    // product is computed in double (and rounded like the
+    // regular-page path) — paper-scale cycle counts overflow a u64
+    // cycles * classes product.
+    report.extrapolatedCycles = extrapolateUniformClasses(
+        report.sampledCycles, report.classesTotal, report.classesSampled);
 
     if (report.classesSampled < report.classesTotal)
         oracleFill();
@@ -214,42 +303,43 @@ LlcEvictionPool::buildRegularSampled(unsigned sampleClasses,
     // 6-11, i.e. 64 classes with 32x more candidates each.
     const std::uint64_t mask = 0x3f;
     report.classesTotal = 64;
-    report.classesSampled = std::min<unsigned>(sampleClasses, 64);
+    // 0 means "all classes", exactly like the superpage path.
+    report.classesSampled =
+        sampleClasses == 0 ? report.classesTotal
+                           : std::min<unsigned>(sampleClasses, 64);
+    report.algorithm = cfg.poolBuild.algorithm;
+    report.threads = cfg.poolBuild.threads;
 
     std::vector<std::vector<VirtAddr>> buckets(64);
     for (VirtAddr line : bufferLines)
         buckets[(line >> kLineShift) & mask].push_back(line);
 
-    const std::uint64_t candidatesPerClass = buckets[0].size();
-    const unsigned groupsTotal = static_cast<unsigned>(
-        candidatesPerClass / (2 * m.config().caches.llc.ways));
+    ExtractionStats stats =
+        extractClasses(buckets, report.classesSampled,
+                       /*hintFromBucket=*/false, groupsPerClass);
+    report.sampledCycles = stats.cycles;
+    report.conflictTests = stats.conflictTests;
+    report.lineAccesses = stats.lineAccesses;
 
-    Cycles start = m.clock().now();
-    unsigned groupsDone = 0;
-    for (unsigned cls = 0; cls < report.classesSampled; ++cls)
-        groupsDone += extractGroups(buckets[cls], ~0ull, groupsPerClass);
-    report.sampledCycles = m.clock().now() - start;
-
-    // The reduction for group g scans ~(N - S*g) candidates, each test
-    // touching the surviving set, so extraction cost falls off
-    // quadratically. Extrapolate the measured prefix over the whole
-    // class, then over all classes.
-    auto weight = [&](unsigned g) {
-        double remaining = static_cast<double>(candidatesPerClass) -
-                           2.0 * m.config().caches.llc.ways * g;
-        return remaining > 0 ? remaining * remaining : 0.0;
-    };
-    double measured = 0;
-    double full = 0;
-    for (unsigned g = 0; g < groupsTotal; ++g) {
-        if (g < groupsDone)
-            measured += weight(g);
-        full += weight(g);
-    }
-    double scale = measured > 0 ? full / measured : 1.0;
-    report.extrapolatedCycles = static_cast<Cycles>(
-        static_cast<double>(report.sampledCycles) * scale *
-        report.classesTotal / std::max(1u, report.classesSampled));
+    // Extrapolate the measured prefix over every group of every
+    // class, each class weighted by its own bucket size — buffers
+    // whose line count is not a multiple of 64 leave the tail
+    // classes one line short. Single elimination scans ~(N -
+    // 2*ways*g) candidates per test for group g, so its cost falls
+    // off quadratically; the group-testing reduction traverses
+    // trial-plus-churn ~= the whole class per test, so its per-group
+    // cost decays only linearly with the remainder.
+    std::vector<std::size_t> classCandidates(buckets.size());
+    for (std::size_t c = 0; c < buckets.size(); ++c)
+        classCandidates[c] = buckets[c].size();
+    report.extrapolatedCycles =
+        cfg.poolBuild.algorithm == PoolBuildAlgorithm::SingleElimination
+            ? extrapolateQuadratic(report.sampledCycles,
+                                   classCandidates, stats.groupsDone,
+                                   m.config().caches.llc.ways)
+            : extrapolateLinear(report.sampledCycles, classCandidates,
+                                stats.groupsDone,
+                                m.config().caches.llc.ways);
 
     oracleFill();
     return report;

@@ -57,6 +57,18 @@ struct PoolBuildReport
     Cycles extrapolatedCycles = 0;   //!< full-pool cost estimate
     unsigned classesSampled = 0;
     unsigned classesTotal = 0;
+
+    /** Timed conflict-test experiments the sampled build ran (one
+     * evicts() run, or one batched membership pass per ways-sized
+     * candidate batch). */
+    std::uint64_t conflictTests = 0;
+
+    /** Simulated line touches those experiments issued. */
+    std::uint64_t lineAccesses = 0;
+
+    /** Algorithm and worker count that produced the pool. */
+    PoolBuildAlgorithm algorithm = PoolBuildAlgorithm::SingleElimination;
+    unsigned threads = 1;
 };
 
 /** The pool builder / container. */
@@ -74,6 +86,11 @@ class LlcEvictionPool
 
     /**
      * Build the pool with superpage knowledge (Liu et al.).
+     *
+     * The extraction algorithm and worker count come from
+     * AttackConfig::poolBuild; the group-testing path produces a
+     * byte-identical pool serial or multi-threaded.
+     *
      * @param sampleClasses Classes to run in full detail (0 = all);
      *        sampling extrapolates the cost and oracle-fills the rest.
      */
@@ -81,10 +98,11 @@ class LlcEvictionPool
 
     /**
      * Run the regular-page algorithm (Genkin et al.) on sampleClasses
-     * page-offset classes, extracting groupsPerClass groups per class,
-     * and extrapolate the full cost with the algorithm's quadratic
-     * work model; the rest of the pool is oracle-filled (functionally
-     * identical, verified by tests).
+     * page-offset classes (0 = all 64), extracting groupsPerClass
+     * groups per class, and extrapolate the full cost with the
+     * algorithm's quadratic work model; the rest of the pool is
+     * oracle-filled (functionally identical, verified by tests).
+     * Algorithm/threads come from AttackConfig::poolBuild, as above.
      */
     PoolBuildReport buildRegularSampled(unsigned sampleClasses,
                                         unsigned groupsPerClass);
@@ -110,6 +128,28 @@ class LlcEvictionPool
                                unsigned trials);
 
   private:
+    /** What extracting the sampled classes cost. */
+    struct ExtractionStats
+    {
+        Cycles cycles = 0;
+        std::uint64_t conflictTests = 0;
+        std::uint64_t lineAccesses = 0;
+        std::vector<unsigned> groupsDone;  //!< per sampled class
+    };
+
+    /**
+     * Extract groups from the first classesSampled buckets with the
+     * configured algorithm (cfg.poolBuild), appending sets to the
+     * pool in class-index order regardless of worker count.
+     * @param hintFromBucket True: record the bucket index as each
+     *        set's classIndex (superpage path); false: derive the
+     *        set-index bits from each set's base line (regular path).
+     */
+    ExtractionStats extractClasses(
+        const std::vector<std::vector<VirtAddr>> &buckets,
+        unsigned classesSampled, bool hintFromBucket,
+        unsigned maxGroupsPerClass);
+
     /** All buffer line VAs whose class matches under the given mask. */
     std::vector<VirtAddr> classCandidates(std::uint64_t classValue,
                                           std::uint64_t classMask) const;
@@ -136,6 +176,10 @@ class LlcEvictionPool
     std::uint64_t bufferBytes;
     std::vector<VirtAddr> bufferLines;
     std::vector<EvictionSet> pool;
+
+    /** Machine-path (single-elimination) work counters. */
+    std::uint64_t machineConflictTests = 0;
+    std::uint64_t machineLineAccesses = 0;
 };
 
 } // namespace pth

@@ -29,11 +29,18 @@ LatencyProbe::timeAccess(VirtAddr va)
 Cycles
 LatencyProbe::dramThreshold() const
 {
+    return dramThresholdFor(mcfg);
+}
+
+Cycles
+LatencyProbe::dramThresholdFor(const MachineConfig &machine)
+{
     // Anything slower than a full cache-hit path plus a healthy walk
     // margin must have touched DRAM.
-    Cycles cacheHit = mcfg.caches.l1d.latency + mcfg.caches.l2.latency +
-                      mcfg.caches.llc.latency;
-    return cacheHit + mcfg.tlb.l2HitLatency + 60;
+    Cycles cacheHit = machine.caches.l1d.latency +
+                      machine.caches.l2.latency +
+                      machine.caches.llc.latency;
+    return cacheHit + machine.tlb.l2HitLatency + 60;
 }
 
 Cycles

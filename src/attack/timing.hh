@@ -36,6 +36,13 @@ class LatencyProbe
     Cycles dramThreshold() const;
 
     /**
+     * The same threshold computed from a machine configuration alone —
+     * shared with the pool builder's per-class conflict testers, which
+     * time accesses without a Cpu.
+     */
+    static Cycles dramThresholdFor(const MachineConfig &machine);
+
+    /**
      * Latency above which a translated access hit a row-buffer
      * conflict, i.e. the two probed L1PTEs share a bank (Section IV-D).
      */

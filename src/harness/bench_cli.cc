@@ -17,7 +17,7 @@ usage(const char *prog, const char *summary)
     std::printf("%s — %s\n\n", prog, summary);
     std::printf(
         "usage: %s [--json[=PATH]] [--journal PATH] [--fresh]\n"
-        "       %*s [--threads N]\n\n"
+        "       %*s [--threads N] [--pool-algo A] [--pool-threads N]\n\n"
         "  --json[=PATH]   dump the raw campaign JSON report after\n"
         "                  the table (stdout, or clean to PATH)\n"
         "  --journal PATH  checkpoint completed runs to the JSONL\n"
@@ -27,6 +27,11 @@ usage(const char *prog, const char *summary)
         "                  rerun everything\n"
         "  --threads N     worker threads (overrides PTH_THREADS;\n"
         "                  0 = all cores, 1 = serial)\n"
+        "  --pool-algo A   LLC pool-build algorithm where pools are\n"
+        "                  built: single[-elimination] or\n"
+        "                  group[-testing] (default)\n"
+        "  --pool-threads N  extraction workers inside one pool\n"
+        "                  build (1 = serial, 0 = all cores)\n"
         "  --help          this text\n",
         prog, static_cast<int>(std::strlen(prog)), "");
 }
@@ -89,8 +94,29 @@ BenchCli::parse(int argc, char **argv, const char *summary)
                 n >= 0 ? static_cast<unsigned>(n) : 0;
             continue;
         }
+        if (const char *value =
+                flagValue(argc, argv, i, "--pool-algo")) {
+            if (!parsePoolBuildAlgorithm(value, cli.pool.algorithm)) {
+                std::fprintf(stderr,
+                             "%s: unknown pool algorithm '%s' (use"
+                             " single[-elimination] or"
+                             " group[-testing])\n",
+                             argv[0], value);
+                std::exit(2);
+            }
+            continue;
+        }
+        if (const char *value =
+                flagValue(argc, argv, i, "--pool-threads")) {
+            // Negative values mean 0 (all cores), like --threads.
+            long n = std::strtol(value, nullptr, 10);
+            cli.pool.threads = n >= 0 ? static_cast<unsigned>(n) : 0;
+            continue;
+        }
         if (!std::strcmp(arg, "--journal") ||
-            !std::strcmp(arg, "--threads")) {
+            !std::strcmp(arg, "--threads") ||
+            !std::strcmp(arg, "--pool-algo") ||
+            !std::strcmp(arg, "--pool-threads")) {
             // flagValue only fails for these when the value is gone.
             std::fprintf(stderr, "%s: missing value for '%s'\n",
                          argv[0], arg);

@@ -11,6 +11,12 @@
  *                   everything
  *   --threads N     worker count (overrides PTH_THREADS; 0 = all
  *                   cores, 1 = serial)
+ *   --pool-algo A   LLC pool-build algorithm for benches that build
+ *                   eviction pools: single[-elimination] or
+ *                   group[-testing] (the default)
+ *   --pool-threads N  extraction workers inside one pool build
+ *                   (1 = serial, 0 = all cores; the pool is
+ *                   byte-identical either way)
  *   --help          usage
  *
  * Defaults: threads from PTH_THREADS (all cores when unset), no
@@ -37,6 +43,10 @@ struct BenchCli
 
     bool json = false;      //!< --json given
     std::string jsonPath;   //!< --json=PATH target; empty = stdout
+
+    /** Pool-build knobs (--pool-algo / --pool-threads); benches that
+     * build LLC eviction pools copy this into their AttackConfig. */
+    PoolBuildOptions pool;
 
     /**
      * Parse the standard bench flags. summary is the one-line

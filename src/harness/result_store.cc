@@ -170,6 +170,11 @@ specKey(const RunSpec &spec)
                     a.seed);
     h = hashCombine(h, a.userDataBase, a.sprayBase, a.tlbPoolBase);
     h = hashCombine(h, a.llcBufferBase, a.scratchBase);
+    // poolBuild.threads is deliberately excluded: the pool is
+    // byte-identical at any worker count, so a journal survives a
+    // --pool-threads change.
+    h = hashCombine(h,
+                    static_cast<std::uint64_t>(a.poolBuild.algorithm));
     return h;
 }
 

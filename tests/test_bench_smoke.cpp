@@ -12,6 +12,7 @@
 #include "attack/eviction_pool.hh"
 #include "attack/eviction_selection.hh"
 #include "attack/explicit_hammer.hh"
+#include "attack/pool_build.hh"
 #include "attack/pthammer.hh"
 #include "attack/spray.hh"
 #include "attack/tlb_eviction.hh"
@@ -89,6 +90,51 @@ TEST(BenchSmoke, Fig4LlcEvictionPath)
                                            /*repeats=*/5);
     EXPECT_GE(rate, 0.0);
     EXPECT_LE(rate, 1.0);
+}
+
+/** bench_pool_build: every algorithm variant on both page modes. */
+TEST(BenchSmoke, PoolBuildBenchPath)
+{
+    const PoolBuildAlgorithm algorithms[] = {
+        PoolBuildAlgorithm::SingleElimination,
+        PoolBuildAlgorithm::GroupTesting,
+    };
+    for (bool superpages : {true, false}) {
+        std::uint64_t groupFingerprint = 0;
+        for (PoolBuildAlgorithm algorithm : algorithms) {
+            for (unsigned threads : {1u, 4u}) {
+                if (algorithm ==
+                        PoolBuildAlgorithm::SingleElimination &&
+                    threads != 1)
+                    continue;
+                Machine machine(MachineConfig::testSmall());
+                AttackConfig attack = tinyAttack();
+                attack.superpages = superpages;
+                attack.poolBuild.algorithm = algorithm;
+                attack.poolBuild.threads = threads;
+                Process &proc = machine.kernel().createProcess(1000);
+                machine.cpu().setProcess(proc);
+                LlcEvictionPool pool(machine, attack);
+                pool.allocateBuffer();
+                PoolBuildReport report =
+                    superpages ? pool.buildSuperpage(2)
+                               : pool.buildRegularSampled(1, 2);
+                EXPECT_GT(report.conflictTests, 0u);
+                EXPECT_GT(report.lineAccesses, 0u);
+                EXPECT_GE(report.extrapolatedCycles,
+                          report.sampledCycles);
+                EXPECT_FALSE(pool.sets().empty());
+                if (algorithm == PoolBuildAlgorithm::GroupTesting) {
+                    // Serial and multi-threaded pools byte-match.
+                    std::uint64_t fp = poolFingerprint(pool.sets());
+                    if (threads == 1)
+                        groupFingerprint = fp;
+                    else
+                        EXPECT_EQ(fp, groupFingerprint);
+                }
+            }
+        }
+    }
 }
 
 /** bench_fig5_hammer_sweep: explicit hammer, one tiny run. */
