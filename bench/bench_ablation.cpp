@@ -131,6 +131,7 @@ main(int argc, char **argv)
         RunSpec spec;
         spec.label = variant.name;
         spec.preset = MachinePreset::LenovoT420;
+        spec.dramModel = cli.dramModel;
         spec.attack.superpages = true;
         spec.attack.poolBuild = cli.pool;
         spec.attack.sprayBytes = 256ull << 20;

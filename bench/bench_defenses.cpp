@@ -52,6 +52,7 @@ main(int argc, char **argv)
         RunSpec spec;
         spec.label = defenseKindName(scenario.kind);
         spec.preset = MachinePreset::LenovoT420;
+        spec.dramModel = cli.dramModel;
         spec.defense = scenario.kind;
         spec.strategy = HammerStrategy::PThammer;
         spec.attack.poolBuild = cli.pool;

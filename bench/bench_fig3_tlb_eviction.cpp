@@ -41,6 +41,7 @@ main(int argc, char **argv)
         RunSpec spec;
         spec.label = machinePresetName(preset);
         spec.preset = preset;
+        spec.dramModel = cli.dramModel;
         spec.attack.superpages = true;
         spec.attack.sprayBytes = 64ull << 20;
         spec.body = [](Machine &machine, const AttackConfig &attack,

@@ -40,6 +40,7 @@ main(int argc, char **argv)
         RunSpec spec;
         spec.label = machinePresetName(preset);
         spec.preset = preset;
+        spec.dramModel = cli.dramModel;
         spec.attack.superpages = true;
         spec.attack.poolBuild = cli.pool;
         spec.body = [](Machine &machine, const AttackConfig &attack,

@@ -34,6 +34,7 @@ main(int argc, char **argv)
             spec.label =
                 machinePresetName(preset) + strfmt("/nop%u", nops);
             spec.preset = preset;
+            spec.dramModel = cli.dramModel;
             spec.strategy = HammerStrategy::Explicit;
             spec.nopPadding = nops;
             spec.body = [nops](Machine &machine,

@@ -35,6 +35,7 @@ main(int argc, char **argv)
             spec.label = machinePresetName(preset) +
                          (superpages ? "/superpage" : "/default");
             spec.preset = preset;
+            spec.dramModel = cli.dramModel;
             spec.attack.superpages = superpages;
             spec.attack.poolBuild = cli.pool;
             spec.attack.sprayBytes = 512ull << 20;

@@ -30,6 +30,7 @@ main(int argc, char **argv)
         RunSpec spec;
         spec.label = machinePresetName(preset);
         spec.preset = preset;
+        spec.dramModel = cli.dramModel;
         spec.attack.superpages = true;
         spec.attack.poolBuild = cli.pool;
         spec.attack.sprayBytes = 512ull << 20;

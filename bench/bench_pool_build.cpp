@@ -111,6 +111,7 @@ main(int argc, char **argv)
                 spec.label = machinePresetName(preset) + std::string("/") +
                              kModeNames[mode] + "/" + variant.name;
                 spec.preset = preset;
+                spec.dramModel = cli.dramModel;
                 spec.attack.superpages = mode == 0;
                 spec.attack.poolBuild.algorithm = variant.algorithm;
                 spec.attack.poolBuild.threads = variant.threads;

@@ -36,6 +36,7 @@ main(int argc, char **argv)
             spec.label = machinePresetName(preset) +
                          (superpages ? "/superpage" : "/regular");
             spec.preset = preset;
+            spec.dramModel = cli.dramModel;
             spec.attack.superpages = superpages;
             spec.attack.poolBuild = cli.pool;
             spec.attack.sprayBytes = 256ull << 20;

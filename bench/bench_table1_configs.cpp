@@ -28,6 +28,7 @@ main(int argc, char **argv)
         RunSpec spec;
         spec.label = machinePresetName(preset);
         spec.preset = preset;
+        spec.dramModel = cli.dramModel;
         spec.body = [](Machine &machine, const AttackConfig &,
                        RunResult &res) {
             const MachineConfig &m = machine.config();

@@ -32,6 +32,7 @@ main(int argc, char **argv)
             spec.label = machinePresetName(preset) +
                          (superpages ? "/superpage" : "/regular");
             spec.preset = preset;
+            spec.dramModel = cli.dramModel;
             spec.strategy = HammerStrategy::PThammer;
             spec.attack.superpages = superpages;
             spec.attack.poolBuild = cli.pool;

@@ -27,6 +27,7 @@ main(int argc, char **argv)
     RunSpec base;
     base.label = "t420-small";
     base.preset = MachinePreset::TestSmall;
+    base.dramModel = cli.dramModel;
     base.strategy = HammerStrategy::PThammer;
     base.attack.superpages = true;
     base.attack.sprayBytes = 24ull << 20;

@@ -1,6 +1,7 @@
 #include "cpu/machine_config.hh"
 
 #include "common/random.hh"
+#include "dram/flip_model.hh"
 
 namespace pth
 {
@@ -140,6 +141,35 @@ MachineConfig::testSmall()
     m.kernel.bootNoiseFraction = 0.02;
     m.kernel.seed = 0x7e57b007;
     return m;
+}
+
+MachineConfig &
+MachineConfig::withDramModel(FlipModelKind kind)
+{
+    disturbance.flipModel = kind;
+    const std::uint64_t size = dramGeometry.sizeBytes;
+    const std::string capacity =
+        size >= (1ull << 30)
+            ? std::to_string(size >> 30) + " GiB"
+            : std::to_string(size >> 20) + " MiB";
+    switch (kind) {
+    case FlipModelKind::Ddr3Seeded:
+        // Generic restore: switching back cannot recover a preset's
+        // flavored string ("8 GiB Samsung DDR3"), but must not leave
+        // another model's name on a DDR3 device.
+        dramModel = capacity + " DDR3";
+        break;
+    case FlipModelKind::Trr:
+        dramModel = capacity + " DDR4 (TRR)";
+        break;
+    case FlipModelKind::Distance2:
+        dramModel = capacity + " DDR4 (distance-2)";
+        break;
+    case FlipModelKind::Ecc:
+        dramModel = capacity + " DDR3 ECC";
+        break;
+    }
+    return *this;
 }
 
 } // namespace pth

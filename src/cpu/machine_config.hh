@@ -77,6 +77,14 @@ struct MachineConfig
      * Geometry ratios and code paths match the real presets.
      */
     static MachineConfig testSmall();
+
+    /**
+     * Install a non-default DRAM flip model (see dram/flip_model.hh):
+     * sets disturbance.flipModel and rewrites the descriptive
+     * dramModel string so reports name the scenario. Returns *this
+     * for chaining onto the preset factories.
+     */
+    MachineConfig &withDramModel(FlipModelKind kind);
 };
 
 } // namespace pth

@@ -11,6 +11,8 @@ AddressMapping::AddressMapping(const DramGeometry &geometry) : geom(geometry)
     pth_assert(isPow2(geom.banks) && isPow2(geom.rowBytes) &&
                    isPow2(geom.sizeBytes),
                "DRAM geometry must be power-of-two");
+    pth_assert(geom.rowBytes >= kPageBytes,
+               "bank rows must hold at least one 4 KiB frame");
     bankBits = log2i(geom.banks);
     rowOffsetBits = log2i(geom.rowBytes);
     rowShift = rowOffsetBits + bankBits;
@@ -42,16 +44,17 @@ AddressMapping::compose(const DramLocation &loc) const
     return (loc.row << rowShift) | (taps << rowOffsetBits) | loc.column;
 }
 
-void
-AddressMapping::framesInRow(unsigned bank, std::uint64_t row,
-                            PhysFrame out[2]) const
+std::vector<PhysFrame>
+AddressMapping::framesInRow(unsigned bank, std::uint64_t row) const
 {
     std::uint64_t framesPerRow = geom.framesPerRow();
-    pth_assert(framesPerRow == 2, "expected 8 KiB rows (2 frames each)");
+    pth_assert(framesPerRow >= 1, "rows must hold at least one frame");
+    std::vector<PhysFrame> frames(framesPerRow);
     for (std::uint64_t i = 0; i < framesPerRow; ++i) {
         DramLocation loc{bank, row, i * kPageBytes};
-        out[i] = compose(loc) >> kPageShift;
+        frames[i] = compose(loc) >> kPageShift;
     }
+    return frames;
 }
 
 } // namespace pth

@@ -15,6 +15,7 @@
 #define PTH_DRAM_ADDRESS_MAPPING_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hh"
 #include "dram/dram_config.hh"
@@ -54,11 +55,11 @@ class AddressMapping
     std::uint64_t rowBytes() const { return geom.rowBytes; }
 
     /**
-     * All physical frames stored in (bank, row). Each 8 KiB bank row
-     * holds two 4 KiB frames.
+     * All physical frames stored in (bank, row) — rowBytes/4 KiB of
+     * them (two for the default 8 KiB DDR3 rows).
      */
-    void framesInRow(unsigned bank, std::uint64_t row, PhysFrame out[2])
-        const;
+    std::vector<PhysFrame> framesInRow(unsigned bank,
+                                       std::uint64_t row) const;
 
   private:
     DramGeometry geom;

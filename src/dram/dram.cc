@@ -8,11 +8,10 @@ namespace pth
 
 Dram::Dram(const DramGeometry &geometry, const DramTiming &timing_,
            const DisturbanceConfig &disturbance, PhysicalMemory &memory)
-    : map(geometry), timing(timing_), vuln(disturbance), mem(memory),
+    : map(geometry), timing(timing_),
+      model(makeFlipModel(disturbance, geometry)), mem(memory),
       bankState(geometry.banks), refreshWindow(disturbance.refreshWindowCycles)
 {
-    pth_assert(geometry.rowBytes == 8192,
-               "weak-cell placement assumes 8 KiB rows");
     pth_assert(refreshWindow > 0, "refresh window must be nonzero");
 }
 
@@ -43,53 +42,18 @@ void
 Dram::activate(unsigned bank, std::uint64_t row, std::uint64_t epoch)
 {
     ++activations;
-    BankState &state = bankState[bank];
-    RowState &rs = state.rowActs[row];
-    if (rs.epoch != epoch) {
-        // Lazy refresh: the window rolled over, so the charge leaked
-        // into the neighbours has been restored.
-        rs.epoch = epoch;
-        rs.acts = 0;
-    }
-    ++rs.acts;
-
-    // Disturb the two neighbouring rows. A victim's per-window
-    // disturbance is the sum of its neighbours' activations.
-    for (long long delta : {-1ll, +1ll}) {
-        if (row == 0 && delta < 0)
-            continue;
-        std::uint64_t victim = row + static_cast<std::uint64_t>(delta);
-        if (victim >= map.rowsPerBank())
-            continue;
-        if (!vuln.rowIsWeak(bank, victim))
-            continue;
-        std::uint64_t disturbance =
-            actsInWindow(bank, victim - 1, epoch) +
-            (victim + 1 < map.rowsPerBank()
-                 ? actsInWindow(bank, victim + 1, epoch)
-                 : 0);
-        applyDisturbance(bank, victim, disturbance);
-    }
-}
-
-std::uint64_t
-Dram::actsInWindow(unsigned bank, std::uint64_t row,
-                   std::uint64_t epoch) const
-{
-    if (row >= map.rowsPerBank())
-        return 0;
-    const BankState &state = bankState[bank];
-    auto it = state.rowActs.find(row);
-    if (it == state.rowActs.end() || it->second.epoch != epoch)
-        return 0;
-    return it->second.acts;
+    victimScratch.clear();
+    model->onActivate(bank, row, epoch, victimScratch);
+    for (const FlipModel::Victim &victim : victimScratch)
+        applyDisturbance(bank, victim.row, victim.disturbance);
 }
 
 void
 Dram::applyDisturbance(unsigned bank, std::uint64_t victimRow,
                        std::uint64_t disturbance)
 {
-    for (const WeakCell &cell : vuln.weakCells(bank, victimRow)) {
+    for (const WeakCell &cell :
+         model->vulnerability().weakCells(bank, victimRow)) {
         if (cell.threshold > disturbance)
             continue;
         DramLocation loc{bank, victimRow, cell.byteInRow};
@@ -100,10 +64,22 @@ Dram::applyDisturbance(unsigned bank, std::uint64_t victimRow,
         // the flip destination cannot flip (again).
         if (storedOne != cell.trueCell)
             continue;
-        mem.flipBit(pa, cell.bitInByte);
-        FlipEvent ev{pa, cell.bitInByte, storedOne, bank, victimRow};
-        pendingFlips.push_back(ev);
-        ++flipsInjected;
+        injectScratch.clear();
+        model->onCellTripped(bank, victimRow, cell, injectScratch);
+        for (const FlipModel::Injection &inject : injectScratch) {
+            PhysAddr target =
+                map.compose({bank, victimRow, inject.byteInRow});
+            bool wasOne = (mem.read8(target) >> inject.bitInByte) & 1;
+            // A deferred (ECC-latent) cell whose word was rewritten
+            // meanwhile had its charge restored; it can no longer
+            // flip against its only possible direction.
+            if (wasOne != inject.trueCell)
+                continue;
+            mem.flipBit(target, inject.bitInByte);
+            pendingFlips.push_back(
+                {target, inject.bitInByte, wasOne, bank, victimRow});
+            ++flipsInjected;
+        }
     }
 }
 
@@ -117,25 +93,14 @@ Dram::hammerBulk(unsigned bank,
     if (windowCount == 0 || actsPerWindow == 0)
         return flips;
 
-    // Collect candidate victims: every row adjacent to an aggressor.
-    std::vector<std::uint64_t> victims;
-    for (std::uint64_t row : aggressorRows) {
-        if (row > 0)
-            victims.push_back(row - 1);
-        if (row + 1 < map.rowsPerBank())
-            victims.push_back(row + 1);
-    }
+    victimScratch.clear();
+    model->bulkVictims(bank, aggressorRows, actsPerWindow, victimScratch);
 
     std::size_t before = pendingFlips.size();
-    for (std::uint64_t victim : victims) {
-        std::uint64_t adjacency = 0;
-        for (std::uint64_t row : aggressorRows)
-            if (row + 1 == victim || (victim + 1 == row))
-                ++adjacency;
-        // The per-window disturbance is constant across windows, so a
-        // cell either flips in the first whole window or never.
-        applyDisturbance(bank, victim, adjacency * actsPerWindow);
-    }
+    // The per-window disturbance is constant across windows, so a
+    // cell either flips in the first whole window or never.
+    for (const FlipModel::Victim &victim : victimScratch)
+        applyDisturbance(bank, victim.row, victim.disturbance);
     flips.assign(pendingFlips.begin() +
                      static_cast<std::ptrdiff_t>(before),
                  pendingFlips.end());
@@ -155,8 +120,13 @@ Dram::reset()
 {
     for (BankState &bank : bankState) {
         bank.open = false;
-        bank.rowActs.clear();
+        bank.openRow = 0;
     }
+    model->reset();
+    pendingFlips.clear();
+    activations = 0;
+    rowHits = 0;
+    flipsInjected = 0;
 }
 
 } // namespace pth

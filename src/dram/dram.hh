@@ -3,26 +3,27 @@
  * DRAM device model: per-bank row buffers, access timing, and the
  * rowhammer disturbance engine.
  *
- * Disturbance accounting is refresh-window accurate: every activation
- * of a row adds one disturbance unit to its two neighbours, counters
- * reset when the refresh window rolls over, and a weak cell flips when
- * its per-window accumulated disturbance reaches its threshold while
- * the stored bit matches the cell orientation. Flips are injected
- * directly into the simulated physical memory, so corrupted page-table
- * entries are observed by the page-table walker with no extra plumbing.
+ * Disturbance accounting is delegated to a pluggable FlipModel (see
+ * flip_model.hh): every activation is reported to the model, which
+ * answers with the victim rows whose per-window disturbance must be
+ * re-checked against their weak cells' thresholds; a tripped cell is
+ * injected when the model's flip filter (ECC, ...) lets it through.
+ * Flips land directly in the simulated physical memory, so corrupted
+ * page-table entries are observed by the page-table walker with no
+ * extra plumbing.
  */
 
 #ifndef PTH_DRAM_DRAM_HH
 #define PTH_DRAM_DRAM_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
 #include "dram/address_mapping.hh"
 #include "dram/dram_config.hh"
-#include "dram/vulnerability_model.hh"
+#include "dram/flip_model.hh"
 
 namespace pth
 {
@@ -54,7 +55,8 @@ class Dram
     /**
      * @param geometry Bank/row geometry.
      * @param timing Access latencies.
-     * @param disturbance Rowhammer fault-model parameters.
+     * @param disturbance Rowhammer fault-model parameters; the flip
+     *        model is instantiated from disturbance.flipModel.
      * @param memory Functional backing store receiving bit flips.
      */
     Dram(const DramGeometry &geometry, const DramTiming &timing,
@@ -85,8 +87,14 @@ class Dram
     /** Address mapping in use. */
     const AddressMapping &mapping() const { return map; }
 
-    /** Vulnerability model in use. */
-    const VulnerabilityModel &vulnerability() const { return vuln; }
+    /** Weak-cell map of the installed flip model. */
+    const VulnerabilityModel &vulnerability() const
+    {
+        return model->vulnerability();
+    }
+
+    /** The installed flip model. */
+    const FlipModel &flipModel() const { return *model; }
 
     /** Flips injected since the last drain. */
     std::vector<FlipEvent> drainFlips();
@@ -100,45 +108,44 @@ class Dram
     /** Total row-buffer hits. */
     std::uint64_t totalRowHits() const { return rowHits; }
 
-    /** Reset row buffers and disturbance counters (not flip history). */
+    /**
+     * Reset the device between experiments: close row buffers, forget
+     * the flip model's accounting state, drop pending flip events and
+     * zero the lifetime counters, so nothing from before the reset is
+     * drained into (or attributed to) the next experiment.
+     */
     void reset();
 
   private:
-    struct RowState
-    {
-        std::uint64_t epoch = 0;   //!< refresh window of the counter
-        std::uint64_t acts = 0;    //!< activations in that window
-    };
-
     struct BankState
     {
         bool open = false;
         std::uint64_t openRow = 0;
-        std::unordered_map<std::uint64_t, RowState> rowActs;
     };
 
-    /** Record an activation and run the neighbour disturbance check. */
+    /** Record an activation and run the model's disturbance check. */
     void activate(unsigned bank, std::uint64_t row, std::uint64_t epoch);
-
-    /** Activations of (bank, row) within the given window. */
-    std::uint64_t actsInWindow(unsigned bank, std::uint64_t row,
-                               std::uint64_t epoch) const;
 
     /**
      * Flip every not-yet-flipped weak cell of the victim whose
-     * threshold is within the given per-window disturbance.
+     * threshold is within the given per-window disturbance (subject
+     * to the model's flip filter).
      */
     void applyDisturbance(unsigned bank, std::uint64_t victimRow,
                           std::uint64_t disturbance);
 
     AddressMapping map;
     DramTiming timing;
-    VulnerabilityModel vuln;
+    std::unique_ptr<FlipModel> model;
     PhysicalMemory &mem;
 
     std::vector<BankState> bankState;
     std::vector<FlipEvent> pendingFlips;
     Cycles refreshWindow;
+
+    /** Per-call scratch, reused to keep the hot path allocation-free. */
+    std::vector<FlipModel::Victim> victimScratch;
+    std::vector<FlipModel::Injection> injectScratch;
 
     std::uint64_t activations = 0;
     std::uint64_t rowHits = 0;

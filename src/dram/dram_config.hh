@@ -47,6 +47,21 @@ struct DramTiming
 };
 
 /**
+ * Which flip/threshold model the DRAM drives (see dram/flip_model.hh).
+ *
+ * All models share the seeded weak-cell map; they differ in how
+ * activations turn into per-victim disturbance and in which tripped
+ * cells actually surface as flips.
+ */
+enum class FlipModelKind
+{
+    Ddr3Seeded,  //!< the paper's DDR3 machines: distance-1 disturbance
+    Trr,         //!< DDR4-style target-row-refresh sampler mitigation
+    Distance2,   //!< "half-double"-style: attenuated disturbance at row±2
+    Ecc,         //!< DDR3 accounting behind single-error-correcting ECC
+};
+
+/**
  * Rowhammer disturbance parameters.
  *
  * A victim row accumulates one disturbance unit per activation of an
@@ -76,6 +91,25 @@ struct DisturbanceConfig
 
     /** Deterministic seed for weak-cell placement. */
     std::uint64_t seed = 0x9a70e5;
+
+    /** Flip model the DRAM instantiates. */
+    FlipModelKind flipModel = FlipModelKind::Ddr3Seeded;
+
+    /** Trr: sampler entries per bank (aggressors trackable at once). */
+    unsigned trrTrackerEntries = 4;
+
+    /**
+     * Trr: tracked-row activations before its neighbours get a
+     * targeted refresh. 0 = auto (thresholdMin / 8), which suppresses
+     * any pattern the sampler can see regardless of cell thresholds.
+     */
+    std::uint64_t trrRefreshThreshold = 0;
+
+    /** Distance2: attenuation divisor for aggressors two rows away. */
+    std::uint64_t distance2Divisor = 4;
+
+    /** Ecc: codeword size; one flipped cell per word is corrected. */
+    std::uint64_t eccCodewordBytes = 8;
 };
 
 } // namespace pth

@@ -1,5 +1,7 @@
 #include "harness/bench_cli.hh"
 
+#include "dram/flip_model.hh"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,7 +19,8 @@ usage(const char *prog, const char *summary)
     std::printf("%s — %s\n\n", prog, summary);
     std::printf(
         "usage: %s [--json[=PATH]] [--journal PATH] [--fresh]\n"
-        "       %*s [--threads N] [--pool-algo A] [--pool-threads N]\n\n"
+        "       %*s [--threads N] [--pool-algo A] [--pool-threads N]\n"
+        "       %*s [--dram-model M]\n\n"
         "  --json[=PATH]   dump the raw campaign JSON report after\n"
         "                  the table (stdout, or clean to PATH)\n"
         "  --journal PATH  checkpoint completed runs to the JSONL\n"
@@ -32,8 +35,12 @@ usage(const char *prog, const char *summary)
         "                  group[-testing] (default)\n"
         "  --pool-threads N  extraction workers inside one pool\n"
         "                  build (1 = serial, 0 = all cores)\n"
+        "  --dram-model M  DRAM flip model for every run: ddr3\n"
+        "                  (default), trr (ddr4-trr), distance2\n"
+        "                  (half-double) or ecc\n"
         "  --help          this text\n",
-        prog, static_cast<int>(std::strlen(prog)), "");
+        prog, static_cast<int>(std::strlen(prog)), "",
+        static_cast<int>(std::strlen(prog)), "");
 }
 
 /**
@@ -113,10 +120,22 @@ BenchCli::parse(int argc, char **argv, const char *summary)
             cli.pool.threads = n >= 0 ? static_cast<unsigned>(n) : 0;
             continue;
         }
+        if (const char *value =
+                flagValue(argc, argv, i, "--dram-model")) {
+            if (!parseFlipModelKind(value, cli.dramModel)) {
+                std::fprintf(stderr,
+                             "%s: unknown DRAM model '%s' (use ddr3,"
+                             " trr, distance2 or ecc)\n",
+                             argv[0], value);
+                std::exit(2);
+            }
+            continue;
+        }
         if (!std::strcmp(arg, "--journal") ||
             !std::strcmp(arg, "--threads") ||
             !std::strcmp(arg, "--pool-algo") ||
-            !std::strcmp(arg, "--pool-threads")) {
+            !std::strcmp(arg, "--pool-threads") ||
+            !std::strcmp(arg, "--dram-model")) {
             // flagValue only fails for these when the value is gone.
             std::fprintf(stderr, "%s: missing value for '%s'\n",
                          argv[0], arg);

@@ -17,6 +17,10 @@
  *   --pool-threads N  extraction workers inside one pool build
  *                   (1 = serial, 0 = all cores; the pool is
  *                   byte-identical either way)
+ *   --dram-model M  DRAM flip model for every run of the sweep:
+ *                   ddr3 (the seeded default), trr (DDR4-style
+ *                   target-row-refresh), distance2 (half-double) or
+ *                   ecc (single-error-correcting DIMMs)
  *   --help          usage
  *
  * Defaults: threads from PTH_THREADS (all cores when unset), no
@@ -47,6 +51,10 @@ struct BenchCli
     /** Pool-build knobs (--pool-algo / --pool-threads); benches that
      * build LLC eviction pools copy this into their AttackConfig. */
     PoolBuildOptions pool;
+
+    /** DRAM flip model (--dram-model); benches copy this into every
+     * RunSpec so the whole sweep runs the selected scenario. */
+    FlipModelKind dramModel = FlipModelKind::Ddr3Seeded;
 
     /**
      * Parse the standard bench flags. summary is the one-line

@@ -178,6 +178,8 @@ Campaign::runOne(const RunSpec &spec, std::size_t index)
     try {
         MachineConfig config = makeMachineConfig(spec.preset);
         config.defense = spec.defense;
+        if (spec.dramModel != FlipModelKind::Ddr3Seeded)
+            config.withDramModel(spec.dramModel);
 
         // Re-key every stochastic stream from the run seed so runs
         // with different seeds decorrelate and equal seeds replay.

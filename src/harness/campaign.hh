@@ -73,6 +73,14 @@ struct RunSpec
     HammerStrategy strategy = HammerStrategy::PThammer;
 
     /**
+     * DRAM flip model the run's machine installs (applied on top of
+     * the preset via MachineConfig::withDramModel, before
+     * tweakMachine). Folded into the journal spec key, so results
+     * from different models never collide on resume.
+     */
+    FlipModelKind dramModel = FlipModelKind::Ddr3Seeded;
+
+    /**
      * Run seed. When nonzero, every stochastic stream of the run
      * (weak-cell placement, kernel boot noise, TLB replacement,
      * attacker RNG) is re-keyed from it with independent stream ids,

@@ -150,6 +150,12 @@ specKey(const RunSpec &spec)
     h = hashCombine(h, spec.seed, spec.nopPadding,
                     spec.explicitBufferBytes);
     h = hashCombine(h, spec.tweakMachine ? 1 : 0, spec.body ? 1 : 0);
+    // Keyed only when non-default so journals written before the flip
+    // models existed stay valid, while results from different models
+    // can never satisfy each other's resume.
+    if (spec.dramModel != FlipModelKind::Ddr3Seeded)
+        h = hashCombine(h, 0xd7a11,
+                        static_cast<std::uint64_t>(spec.dramModel));
 
     const AttackConfig &a = spec.attack;
     h = hashCombine(h, a.superpages, a.sprayBytes, a.userSharedFrames);

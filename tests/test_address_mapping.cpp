@@ -110,13 +110,36 @@ TEST(AddressMapping, FramesInRowAreDistinctAndConsistent)
     AddressMapping map(geom(1024));
     for (unsigned bank = 0; bank < 4; ++bank) {
         for (std::uint64_t row = 0; row < 8; ++row) {
-            PhysFrame frames[2];
-            map.framesInRow(bank, row, frames);
+            std::vector<PhysFrame> frames = map.framesInRow(bank, row);
+            ASSERT_EQ(frames.size(), 2u);
             EXPECT_NE(frames[0], frames[1]);
             for (PhysFrame f : frames) {
                 DramLocation loc = map.decompose(f << kPageShift);
                 EXPECT_EQ(loc.bank, bank);
                 EXPECT_EQ(loc.row, row);
+            }
+        }
+    }
+}
+
+TEST(AddressMapping, FramesInRowFollowsRowSize)
+{
+    // rowBytes is no longer pinned to 8 KiB: a 16 KiB row holds four
+    // frames, a 4 KiB row exactly one, all within their (bank, row).
+    for (std::uint64_t rowBytes : {4096ull, 16384ull}) {
+        DramGeometry g = geom(1024);
+        g.rowBytes = rowBytes;
+        AddressMapping map(g);
+        for (unsigned bank = 0; bank < 4; ++bank) {
+            std::vector<PhysFrame> frames = map.framesInRow(bank, 3);
+            ASSERT_EQ(frames.size(), rowBytes / kPageBytes);
+            for (std::size_t i = 0; i < frames.size(); ++i) {
+                DramLocation loc =
+                    map.decompose(frames[i] << kPageShift);
+                EXPECT_EQ(loc.bank, bank);
+                EXPECT_EQ(loc.row, 3u);
+                for (std::size_t j = i + 1; j < frames.size(); ++j)
+                    EXPECT_NE(frames[i], frames[j]);
             }
         }
     }

@@ -251,5 +251,36 @@ TEST(BenchSmoke, CampaignStrategiesPath)
     EXPECT_NE(table.render().find("pthammer"), std::string::npos);
 }
 
+/**
+ * Every bench accepts --dram-model; this covers the campaign path a
+ * bench takes under --dram-model=trr (the CI matrix runs one bench
+ * that way for real): the run must complete, install the TRR model,
+ * and the mitigation must not report explicit double-sided flips.
+ */
+TEST(BenchSmoke, CampaignTrrModelPath)
+{
+    Campaign campaign;
+
+    RunSpec spec;
+    spec.label = "explicit/trr";
+    spec.preset = MachinePreset::TestSmall;
+    spec.strategy = HammerStrategy::Explicit;
+    spec.dramModel = FlipModelKind::Trr;
+    spec.attack = tinyAttack();
+    spec.attack.hammerBudgetSeconds = 2.0;
+    spec.explicitBufferBytes = 8ull << 20;
+    spec.tweakMachine = [](MachineConfig &config) {
+        EXPECT_EQ(config.disturbance.flipModel, FlipModelKind::Trr);
+        EXPECT_NE(config.dramModel.find("TRR"), std::string::npos);
+    };
+    campaign.add(spec);
+
+    std::vector<RunResult> results = campaign.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_FALSE(results[0].flipped);
+    EXPECT_EQ(results[0].flips, 0u);
+}
+
 } // namespace
 } // namespace pth

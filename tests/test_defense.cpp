@@ -27,7 +27,8 @@ struct DefenseEnv
         DisturbanceConfig dc;
         dc.weakRowProbability = 0.05;
         dc.trueCellFraction = 0.5;
-        vuln = std::make_unique<VulnerabilityModel>(dc);
+        vuln = std::make_unique<VulnerabilityModel>(dc,
+                                                    geometry.rowBytes);
     }
 
     std::uint64_t frames() const { return geometry.sizeBytes >> 12; }

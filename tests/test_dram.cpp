@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/random.hh"
 #include "dram/dram.hh"
 #include "mem/physical_memory.hh"
 
@@ -40,6 +43,20 @@ struct DramFixture : public ::testing::Test
              ++row)
             if (dram->vulnerability().rowIsWeak(0, row) == weak)
                 return row;
+        return 0;
+    }
+
+    /** First weak row >= startRow in bank 0 holding an anti cell (the
+     * orientation that flips in zero-filled memory). */
+    std::uint64_t
+    findAntiRow(std::uint64_t startRow = 1)
+    {
+        for (std::uint64_t row = startRow; row < geometry.rows() - 2;
+             ++row)
+            for (const WeakCell &cell :
+                 dram->vulnerability().weakCells(0, row))
+                if (!cell.trueCell)
+                    return row;
         return 0;
     }
 
@@ -140,9 +157,7 @@ TEST_F(DramFixture, TrueCellsOnlyDischarge)
 {
     std::uint64_t victim = findRow(true);
     // Prefill the victim row with all-ones so true cells can flip.
-    PhysFrame frames[2];
-    dram->mapping().framesInRow(0, victim, frames);
-    for (PhysFrame f : frames)
+    for (PhysFrame f : dram->mapping().framesInRow(0, victim))
         mem->fillFramePattern(f, ~0ull);
 
     auto flips = dram->hammerBulk(0, {victim - 1, victim + 1},
@@ -246,6 +261,373 @@ TEST_F(DramFixture, ResetClosesBanksAndClearsCounters)
     dram->reset();
     auto r = dram->access(addrOf(0, 5), 10);
     EXPECT_EQ(r.latency, timing.rowClosed);
+}
+
+TEST_F(DramFixture, ResetClearsPendingFlipsAndCounters)
+{
+    // Regression: reset() used to leave pendingFlips and the lifetime
+    // counters intact, so flips from before a reset were drained into
+    // (and attributed to) the next experiment.
+    std::uint64_t victim = findRow(true);
+    dram->hammerBulk(0, {victim - 1, victim + 1},
+                     disturbance.thresholdMax + 1, 1);
+    dram->access(addrOf(0, 5), 0);
+    dram->access(addrOf(0, 5, 64), 10);
+    ASSERT_GT(dram->totalFlips(), 0u);
+    ASSERT_GT(dram->totalActivations(), 0u);
+    ASSERT_GT(dram->totalRowHits(), 0u);
+
+    dram->reset();
+    EXPECT_TRUE(dram->drainFlips().empty());
+    EXPECT_EQ(dram->totalFlips(), 0u);
+    EXPECT_EQ(dram->totalActivations(), 0u);
+    EXPECT_EQ(dram->totalRowHits(), 0u);
+}
+
+TEST_F(DramFixture, BulkHammerVictimsDeduped)
+{
+    // Regression: a victim sandwiched between two aggressors was
+    // listed twice and ran the threshold check twice per call. The
+    // flip list must hold each cell at most once.
+    std::uint64_t victim = findRow(true, 30);
+    ASSERT_GT(victim, 0u);
+    auto flips = dram->hammerBulk(0, {victim - 1, victim + 1},
+                                  disturbance.thresholdMax + 1, 1);
+    ASSERT_FALSE(flips.empty());
+    for (std::size_t i = 0; i < flips.size(); ++i)
+        for (std::size_t j = i + 1; j < flips.size(); ++j)
+            EXPECT_FALSE(flips[i].address == flips[j].address &&
+                         flips[i].bitInByte == flips[j].bitInByte);
+}
+
+/**
+ * Byte-identity pin: the default (DDR3) flip model must reproduce the
+ * pre-FlipModel-interface Dram exactly. The fingerprint below was
+ * captured by running this exact scenario against the monolithic
+ * implementation (commit e723019); every FlipEvent field is folded in,
+ * so order, addresses, orientations and counts are all pinned.
+ */
+TEST_F(DramFixture, DefaultModelByteIdenticalToPreRefactorSeed)
+{
+    auto fold = [](std::uint64_t h, const std::vector<FlipEvent> &flips) {
+        for (const FlipEvent &f : flips) {
+            h = hashCombine(h, f.address, f.bitInByte, f.wasOne ? 1 : 0);
+            h = hashCombine(h, f.bank, f.row);
+        }
+        return h;
+    };
+
+    std::uint64_t h = 0x5eedf00d;
+    std::uint64_t count = 0;
+
+    // Bulk double-sided over the first 400 rows of banks 0..3, with
+    // alternating data patterns so both cell orientations flip.
+    for (unsigned bank = 0; bank < 4; ++bank) {
+        for (std::uint64_t victim = 1; victim + 1 < 400; victim += 3) {
+            if (bank & 1) {
+                for (PhysFrame f :
+                     dram->mapping().framesInRow(bank, victim))
+                    mem->fillFramePattern(f, 0xa5a5a5a5a5a5a5a5ull);
+            }
+            auto flips = dram->hammerBulk(
+                bank, {victim - 1, victim + 1}, 1100 + victim % 150, 1);
+            count += flips.size();
+            h = fold(h, flips);
+        }
+    }
+
+    // Single-sided bulk.
+    for (std::uint64_t agg = 400; agg < 500; ++agg) {
+        auto flips = dram->hammerBulk(0, {agg}, 1250, 2);
+        count += flips.size();
+        h = fold(h, flips);
+    }
+
+    // Detailed per-access path inside one refresh window.
+    PhysAddr a = addrOf(5, 600);
+    PhysAddr b = addrOf(5, 602);
+    for (std::uint64_t i = 0; i <= 1300; ++i) {
+        dram->access(a, i * 2);
+        dram->access(b, i * 2 + 1);
+    }
+    auto drained = dram->drainFlips();
+    count += drained.size();
+    h = fold(h, drained);
+
+    EXPECT_EQ(count, 140u);
+    EXPECT_EQ(dram->totalFlips(), 70u);
+    EXPECT_EQ(h, 0x6e3e0f1f5bfb27f0ull);
+}
+
+/** Fixture over a non-default flip model, same geometry/seed. */
+struct FlipModelFixture : public DramFixture
+{
+    void
+    install(FlipModelKind kind)
+    {
+        disturbance.flipModel = kind;
+        mem = std::make_unique<PhysicalMemory>(geometry.sizeBytes);
+        dram = std::make_unique<Dram>(geometry, timing, disturbance, *mem);
+    }
+};
+
+TEST_F(FlipModelFixture, TrrSuppressesDoubleSidedBulk)
+{
+    // The same double-sided pattern that flips under DDR3...
+    std::uint64_t victim = findRow(true);
+    auto baseline = dram->hammerBulk(0, {victim - 1, victim + 1},
+                                     disturbance.thresholdMax + 1, 1);
+    ASSERT_FALSE(baseline.empty());
+
+    // ...is fully mitigated by the TRR sampler on the same config.
+    install(FlipModelKind::Trr);
+    auto mitigated = dram->hammerBulk(0, {victim - 1, victim + 1},
+                                      disturbance.thresholdMax + 1, 1);
+    EXPECT_TRUE(mitigated.empty());
+    EXPECT_EQ(dram->totalFlips(), 0u);
+}
+
+TEST_F(FlipModelFixture, TrrManySidedDefeatsSampler)
+{
+    install(FlipModelKind::Trr);
+    std::uint64_t victim = findAntiRow(40);
+    ASSERT_GT(victim, 0u);
+
+    // More distinct aggressors than the 4 tracker entries: the
+    // Misra-Gries counts never reach the service threshold, so the
+    // full double-sided disturbance lands on the victim.
+    std::vector<std::uint64_t> aggressors = {victim - 1, victim + 1};
+    for (std::uint64_t decoy = 0; decoy < 6; ++decoy)
+        aggressors.push_back(victim + 20 + 2 * decoy);
+    auto flips = dram->hammerBulk(0, aggressors,
+                                  disturbance.thresholdMax + 1, 1);
+    bool victimFlipped = false;
+    for (const FlipEvent &f : flips)
+        victimFlipped |= f.row == victim;
+    EXPECT_TRUE(victimFlipped);
+}
+
+TEST_F(FlipModelFixture, TrrSuppressesDoubleSidedDetailedPath)
+{
+    install(FlipModelKind::Trr);
+    std::uint64_t victim = findRow(true);
+    PhysAddr a = addrOf(0, victim - 1);
+    PhysAddr b = addrOf(0, victim + 1);
+    // All activations inside one refresh window, well above threshold
+    // — flips under DDR3 (DetailedHammeringAlsoFlips), none here: the
+    // sampler tracks both aggressors and keeps refreshing the victim.
+    for (std::uint64_t i = 0; i <= disturbance.thresholdMax; ++i) {
+        dram->access(a, i * 2);
+        dram->access(b, i * 2 + 1);
+    }
+    EXPECT_EQ(dram->totalFlips(), 0u);
+}
+
+TEST_F(FlipModelFixture, Distance2FlipsTwoRowsAway)
+{
+    install(FlipModelKind::Distance2);
+    // A weak victim with both aggressors two rows away: only the
+    // attenuated far contribution reaches it.
+    std::uint64_t victim = findAntiRow(60);
+    ASSERT_GT(victim, 2u);
+    std::uint64_t needed =
+        disturbance.thresholdMax * disturbance.distance2Divisor + 2;
+    auto flips =
+        dram->hammerBulk(0, {victim - 2, victim + 2}, needed / 2, 1);
+    bool farVictim = false;
+    for (const FlipEvent &f : flips)
+        farVictim |= f.row == victim;
+    EXPECT_TRUE(farVictim);
+
+    // The DDR3 model sees nothing at distance 2 from the same rows.
+    install(FlipModelKind::Ddr3Seeded);
+    auto none = dram->hammerBulk(0, {victim - 2, victim + 2},
+                                 needed / 2, 1);
+    for (const FlipEvent &f : none)
+        EXPECT_NE(f.row, victim);
+}
+
+TEST_F(FlipModelFixture, Distance2FarContributionIsAttenuated)
+{
+    install(FlipModelKind::Distance2);
+    std::uint64_t victim = findRow(true, 90);
+    ASSERT_GT(victim, 2u);
+    // Below threshold * divisor the far pair must not flip anything.
+    auto flips = dram->hammerBulk(0, {victim - 2, victim + 2},
+                                  disturbance.thresholdMin / 2, 1);
+    for (const FlipEvent &f : flips)
+        EXPECT_NE(f.row, victim);
+}
+
+TEST_F(FlipModelFixture, Distance2DetailedPathReachesRowPlusTwo)
+{
+    install(FlipModelKind::Distance2);
+    std::uint64_t victim = findAntiRow(120);
+    ASSERT_GT(victim, 2u);
+    PhysAddr a = addrOf(0, victim - 2);
+    PhysAddr b = addrOf(0, victim + 2);
+    std::uint64_t iterations =
+        disturbance.thresholdMax * disturbance.distance2Divisor;
+    for (std::uint64_t i = 0; i <= iterations / 2 + 2; ++i) {
+        dram->access(a, i * 2);
+        dram->access(b, i * 2 + 1);
+    }
+    bool farVictim = false;
+    for (const FlipEvent &f : dram->drainFlips())
+        farVictim |= f.row == victim;
+    EXPECT_TRUE(farVictim);
+}
+
+TEST_F(FlipModelFixture, EccCorrectsSingleCellPerCodeword)
+{
+    // One codeword per row: a weak row needs two tripped cells before
+    // anything surfaces. Zero-filled memory trips anti cells only.
+    disturbance.eccCodewordBytes = geometry.rowBytes;
+    install(FlipModelKind::Ecc);
+    const VulnerabilityModel &vuln = dram->vulnerability();
+
+    auto antiCells = [&vuln](std::uint64_t row) {
+        unsigned anti = 0;
+        for (const WeakCell &cell : vuln.weakCells(0, row))
+            anti += !cell.trueCell;
+        return anti;
+    };
+
+    // The candidate's ±2 rows must be quiet: they are victims of the
+    // same aggressor pair and would add their own codewords' flips.
+    std::uint64_t loneRow = 0;
+    std::uint64_t pairRow = 0;
+    for (std::uint64_t row = 3; row + 3 < geometry.rows(); ++row) {
+        if (vuln.rowIsWeak(0, row - 2) || vuln.rowIsWeak(0, row + 2))
+            continue;
+        unsigned anti = antiCells(row);
+        if (anti == 1 && !loneRow)
+            loneRow = row;
+        if (anti >= 2 && !pairRow)
+            pairRow = row;
+        if (loneRow && pairRow)
+            break;
+    }
+    ASSERT_GT(loneRow, 0u);
+    ASSERT_GT(pairRow, 0u);
+
+    // A single tripped cell stays corrected...
+    auto lone = dram->hammerBulk(0, {loneRow - 1, loneRow + 1},
+                                 disturbance.thresholdMax + 1, 1);
+    EXPECT_TRUE(lone.empty());
+
+    // ...while a second error in the word defeats the code: every
+    // tripped cell of the word lands at once.
+    auto pair = dram->hammerBulk(0, {pairRow - 1, pairRow + 1},
+                                 disturbance.thresholdMax + 1, 1);
+    EXPECT_EQ(pair.size(), antiCells(pairRow));
+    for (const FlipEvent &f : pair)
+        EXPECT_EQ(f.row, pairRow);
+}
+
+TEST_F(FlipModelFixture, EccLatentCellRestoredByRewriteDoesNotFlip)
+{
+    // A tripped-but-corrected cell whose word is rewritten has its
+    // charge restored: when a second error later breaks the word, the
+    // stale latent cell must not flip against its only direction.
+    disturbance.eccCodewordBytes = geometry.rowBytes;
+    install(FlipModelKind::Ecc);
+    const VulnerabilityModel &vuln = dram->vulnerability();
+
+    // A row (with quiet ±2 neighbours) whose weakest anti cell trips
+    // strictly before any other anti cell.
+    std::uint64_t row = 0;
+    WeakCell weakest{};
+    for (std::uint64_t r = 3; r + 3 < geometry.rows() && !row; ++r) {
+        if (vuln.rowIsWeak(0, r - 2) || vuln.rowIsWeak(0, r + 2))
+            continue;
+        std::vector<WeakCell> anti;
+        for (const WeakCell &cell : vuln.weakCells(0, r))
+            if (!cell.trueCell)
+                anti.push_back(cell);
+        if (anti.size() < 2)
+            continue;
+        std::sort(anti.begin(), anti.end(),
+                  [](const WeakCell &a, const WeakCell &b) {
+                      return a.threshold < b.threshold;
+                  });
+        if (anti[0].threshold < anti[1].threshold) {
+            row = r;
+            weakest = anti[0];
+        }
+    }
+    ASSERT_GT(row, 0u);
+
+    // Single-sided: disturbance equals acts exactly. Trip only the
+    // weakest anti cell — latent, corrected, nothing surfaces.
+    auto first = dram->hammerBulk(0, {row - 1}, weakest.threshold, 1);
+    EXPECT_TRUE(first.empty());
+
+    // Software rewrites the word: the latent cell now stores 1 and an
+    // anti cell cannot charge any further.
+    PhysAddr cellAddr =
+        dram->mapping().compose({0, row, weakest.byteInRow});
+    mem->write8(cellAddr, 0xff);
+
+    // A second error defeats the code; the restored cell stays put.
+    auto second = dram->hammerBulk(0, {row - 1},
+                                   disturbance.thresholdMax + 1, 1);
+    EXPECT_FALSE(second.empty());
+    for (const FlipEvent &f : second)
+        EXPECT_FALSE(f.address == cellAddr &&
+                     f.bitInByte == weakest.bitInByte);
+}
+
+TEST_F(FlipModelFixture, ModelsReportTheirKind)
+{
+    EXPECT_EQ(dram->flipModel().kind(), FlipModelKind::Ddr3Seeded);
+    EXPECT_STREQ(dram->flipModel().name(), "ddr3");
+    install(FlipModelKind::Trr);
+    EXPECT_STREQ(dram->flipModel().name(), "trr");
+    install(FlipModelKind::Distance2);
+    EXPECT_STREQ(dram->flipModel().name(), "distance2");
+    install(FlipModelKind::Ecc);
+    EXPECT_STREQ(dram->flipModel().name(), "ecc");
+}
+
+TEST(DramGeometryModels, SixteenKiBRowsAreFirstClass)
+{
+    // The DDR3 8 KiB row assumption is gone: a 16 KiB-row device
+    // places weak cells over the whole row and flips in its far half.
+    DramGeometry geometry;
+    geometry.sizeBytes = 512ull << 20;
+    geometry.banks = 32;
+    geometry.rowBytes = 16384;
+    DramTiming timing{100, 150, 200};
+    DisturbanceConfig disturbance;
+    disturbance.refreshWindowCycles = 1'000'000;
+    disturbance.weakRowProbability = 0.2;
+    disturbance.thresholdMin = 1000;
+    disturbance.thresholdMax = 1200;
+    disturbance.seed = 0xdd44;
+
+    PhysicalMemory mem(geometry.sizeBytes);
+    Dram dram(geometry, timing, disturbance, mem);
+    EXPECT_EQ(dram.mapping().framesInRow(0, 1).size(), 4u);
+
+    bool farHalf = false;
+    std::uint64_t flips = 0;
+    for (std::uint64_t victim = 1;
+         victim + 1 < geometry.rows() && !farHalf; ++victim) {
+        if (!dram.vulnerability().rowIsWeak(0, victim))
+            continue;
+        for (const FlipEvent &f :
+             dram.hammerBulk(0, {victim - 1, victim + 1},
+                             disturbance.thresholdMax + 1, 1)) {
+            ++flips;
+            std::uint64_t column =
+                dram.mapping().decompose(f.address).column;
+            EXPECT_LT(column, geometry.rowBytes);
+            farHalf |= column >= 8192;
+        }
+    }
+    EXPECT_GT(flips, 0u);
+    EXPECT_TRUE(farHalf);
 }
 
 } // namespace

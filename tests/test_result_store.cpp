@@ -117,6 +117,17 @@ TEST(SpecKey, StableAndSensitive)
     RunSpec differentStrategy = a;
     differentStrategy.strategy = HammerStrategy::Explicit;
     EXPECT_NE(specKey(a), specKey(differentStrategy));
+
+    // Journals from different DRAM flip models must never satisfy
+    // each other's resume, and the non-default kinds must not
+    // collide among themselves either.
+    RunSpec trr = a;
+    trr.dramModel = FlipModelKind::Trr;
+    RunSpec distance2 = a;
+    distance2.dramModel = FlipModelKind::Distance2;
+    EXPECT_NE(specKey(a), specKey(trr));
+    EXPECT_NE(specKey(a), specKey(distance2));
+    EXPECT_NE(specKey(trr), specKey(distance2));
 }
 
 TEST(Json, ParsesWriterDialect)
