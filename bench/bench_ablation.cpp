@@ -144,8 +144,8 @@ main(int argc, char **argv)
         campaign.add(spec);
     }
 
-    std::vector<RunResult> results = campaign.run(cli.options);
-    unsigned failures = BenchCli::reportFailures(results);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
+    unsigned failures = cli.failureCount(results);
 
     Table table({"Variant", "Cycles/iter", "L1PTE-from-DRAM rate",
                  "Aggressor activations / 64 ms"});

@@ -98,8 +98,8 @@ main(int argc, char **argv)
         campaign.add(spec);
     }
 
-    std::vector<RunResult> results = campaign.run(cli.options);
-    unsigned failures = BenchCli::reportFailures(results);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
+    unsigned failures = cli.failureCount(results);
 
     std::printf("== Section IV-G: PThammer vs software-only"
                 " defenses (Lenovo T420) ==\n");

@@ -72,8 +72,8 @@ main(int argc, char **argv)
         campaign.add(spec);
     }
 
-    std::vector<RunResult> results = campaign.run(cli.options);
-    unsigned failures = BenchCli::reportFailures(results);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
+    unsigned failures = cli.failureCount(results);
 
     std::printf(
         "== Figure 3: TLB miss rate (%%) vs eviction-set size ==\n");

@@ -67,8 +67,8 @@ main(int argc, char **argv)
         campaign.add(spec);
     }
 
-    std::vector<RunResult> results = campaign.run(cli.options);
-    unsigned failures = BenchCli::reportFailures(results);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
+    unsigned failures = cli.failureCount(results);
 
     std::printf(
         "== Figure 4: LLC miss rate (%%) vs eviction-set size ==\n");

@@ -58,8 +58,8 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<RunResult> results = campaign.run(cli.options);
-    unsigned failures = BenchCli::reportFailures(results);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
+    unsigned failures = cli.failureCount(results);
 
     std::printf("== Figure 5: seconds to first flip vs cycles per"
                 " hammer iteration ==\n");

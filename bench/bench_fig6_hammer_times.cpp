@@ -80,8 +80,8 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<RunResult> results = campaign.run(cli.options);
-    unsigned failures = BenchCli::reportFailures(results);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
+    unsigned failures = cli.failureCount(results);
 
     std::printf("== Figure 6: cycles per double-sided hammer,"
                 " 50 rounds ==\n");

@@ -74,8 +74,8 @@ main(int argc, char **argv)
         campaign.add(spec);
     }
 
-    std::vector<RunResult> results = campaign.run(cli.options);
-    unsigned failures = BenchCli::reportFailures(results);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
+    unsigned failures = cli.failureCount(results);
 
     std::printf("== Section IV-D: double-sided pair quality ==\n");
     Table table({"Machine", "Accepted pairs", "Same bank",

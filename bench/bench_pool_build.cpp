@@ -87,12 +87,18 @@ main(int argc, char **argv)
         else
             args.push_back(argv[i]);
     }
+    // --tiny is consumed here, before BenchCli; pass it through so
+    // --workers shard subprocesses rebuild the identical campaign.
+    std::vector<std::string> passthrough;
+    if (tiny)
+        passthrough.push_back("--tiny");
     BenchCli cli = BenchCli::parse(
         static_cast<int>(args.size()), args.data(),
         "LLC pool construction: single-elimination vs group-testing"
         " (--tiny for the CI perf-gate scale; --pool-algo and"
         " --pool-threads are ignored here — the algorithm variants"
-        " ARE this bench's sweep axis)");
+        " ARE this bench's sweep axis)",
+        passthrough);
 
     std::vector<MachinePreset> presets;
     if (tiny)
@@ -159,8 +165,8 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<RunResult> results = campaign.run(cli.options);
-    unsigned failures = BenchCli::reportFailures(results);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
+    unsigned failures = cli.failureCount(results);
 
     std::printf("== LLC eviction-pool construction: conflict tests"
                 " per algorithm ==\n");

@@ -95,8 +95,8 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<RunResult> results = campaign.run(cli.options);
-    unsigned failures = BenchCli::reportFailures(results);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
+    unsigned failures = cli.failureCount(results);
 
     std::printf(
         "== Section IV-C: eviction-set selection accuracy ==\n");

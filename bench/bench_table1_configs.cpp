@@ -42,8 +42,8 @@ main(int argc, char **argv)
         campaign.add(spec);
     }
 
-    std::vector<RunResult> results = campaign.run(cli.options);
-    unsigned failures = BenchCli::reportFailures(results);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
+    unsigned failures = cli.failureCount(results);
 
     std::printf("== Table I: System Configurations ==\n");
     Table table({"Machine", "Architecture", "CPU", "TLB Assoc.",

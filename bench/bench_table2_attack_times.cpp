@@ -42,8 +42,8 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<RunResult> results = campaign.run(cli.options);
-    unsigned failures = BenchCli::reportFailures(results);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
+    unsigned failures = cli.failureCount(results);
 
     std::printf("== Table II: average PThammer times ==\n");
     Table table({"Machine", "Page Size", "Prep TLB", "Prep LLC",

@@ -38,7 +38,7 @@ main(int argc, char **argv)
     Campaign campaign;
     campaign.addSeedSweep(base, /*seedBase=*/1, /*count=*/64);
 
-    std::vector<RunResult> results = campaign.run(cli.options);
+    std::vector<RunResult> results = cli.runCampaign(campaign);
 
     CampaignAggregate agg = Campaign::aggregate(results);
     std::printf("runs          : %llu (%llu failed)\n",
@@ -67,5 +67,5 @@ main(int argc, char **argv)
 
     if (!cli.emitJson(results))
         return 1;
-    return agg.failedRuns == 0 ? 0 : 1;
+    return agg.failedRuns == 0 && cli.workerDeaths == 0 ? 0 : 1;
 }

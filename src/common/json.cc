@@ -115,9 +115,19 @@ class JsonParser
     {
         if (pos >= s.size())
             return false;
+        // Containers recurse; bound the depth so a hostile or mangled
+        // document ("[[[[...") is rejected instead of overflowing the
+        // stack. The writer's dialect nests three levels deep.
         switch (s[pos]) {
-        case '{': return parseObject(out);
-        case '[': return parseArray(out);
+        case '{':
+        case '[': {
+            if (++depth > kMaxDepth)
+                return false;
+            const bool ok = s[pos] == '{' ? parseObject(out)
+                                          : parseArray(out);
+            --depth;
+            return ok;
+        }
         case '"':
             out.kind_ = JsonValue::Kind::String;
             return parseString(out.scalar_);
@@ -296,8 +306,12 @@ class JsonParser
         return true;
     }
 
+    /** Far above anything the repo writes, far below stack limits. */
+    static constexpr std::size_t kMaxDepth = 64;
+
     const std::string &s;
     std::size_t pos = 0;
+    std::size_t depth = 0;
 };
 
 bool

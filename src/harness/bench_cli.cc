@@ -1,11 +1,19 @@
 #include "harness/bench_cli.hh"
 
+#include "common/table.hh"
 #include "dram/flip_model.hh"
+#include "harness/result_store.hh"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
 
 namespace pth
 {
@@ -19,7 +27,8 @@ usage(const char *prog, const char *summary)
     std::printf("%s — %s\n\n", prog, summary);
     std::printf(
         "usage: %s [--json[=PATH]] [--journal PATH] [--fresh]\n"
-        "       %*s [--threads N] [--pool-algo A] [--pool-threads N]\n"
+        "       %*s [--threads N] [--shard I/N] [--workers N]\n"
+        "       %*s [--pool-algo A] [--pool-threads N]\n"
         "       %*s [--dram-model M]\n\n"
         "  --json[=PATH]   dump the raw campaign JSON report after\n"
         "                  the table (stdout, or clean to PATH)\n"
@@ -30,6 +39,15 @@ usage(const char *prog, const char *summary)
         "                  rerun everything\n"
         "  --threads N     worker threads (overrides PTH_THREADS;\n"
         "                  0 = all cores, 1 = serial)\n"
+        "  --shard I/N     execute only runs with index %% N == I\n"
+        "                  into this process's journal (requires\n"
+        "                  --journal); merge the N shard journals\n"
+        "                  with campaign_merge, then rerun with the\n"
+        "                  merged journal for the full report\n"
+        "  --workers N     local multi-process dispatch: fork N\n"
+        "                  shard workers of this binary, merge\n"
+        "                  their journals, report from the merge\n"
+        "                  (0 = one worker per core)\n"
         "  --pool-algo A   LLC pool-build algorithm where pools are\n"
         "                  built: single[-elimination] or\n"
         "                  group[-testing] (default)\n"
@@ -40,6 +58,7 @@ usage(const char *prog, const char *summary)
         "                  (half-double) or ecc\n"
         "  --help          this text\n",
         prog, static_cast<int>(std::strlen(prog)), "",
+        static_cast<int>(std::strlen(prog)), "",
         static_cast<int>(std::strlen(prog)), "");
 }
 
@@ -61,13 +80,29 @@ flagValue(int argc, char **argv, int &i, const char *flag)
     return nullptr;
 }
 
+/** Best-effort delete of the --workers scratch directory. */
+void
+removeScratchDir(const std::string &dir,
+                 const std::vector<std::string> &files)
+{
+    for (const std::string &file : files)
+        std::remove(file.c_str());
+    ::rmdir(dir.c_str());
+}
+
 } // namespace
 
 BenchCli
-BenchCli::parse(int argc, char **argv, const char *summary)
+BenchCli::parse(int argc, char **argv, const char *summary,
+                const std::vector<std::string> &passthrough)
 {
     BenchCli cli;
     cli.options.threads = CampaignOptions::threadsFromEnv();
+    cli.program = argc > 0 ? argv[0] : "";
+    // Bench-specific flags first, then the sweep-shaping standard
+    // flags as they parse — together they let a spawned shard worker
+    // rebuild the identical campaign.
+    cli.forwardArgs = passthrough;
 
     bool fresh = false;
     for (int i = 1; i < argc; ++i) {
@@ -99,6 +134,31 @@ BenchCli::parse(int argc, char **argv, const char *summary)
             long n = std::strtol(value, nullptr, 10);
             cli.options.threads =
                 n >= 0 ? static_cast<unsigned>(n) : 0;
+            cli.threadsExplicit = true;
+            continue;
+        }
+        if (const char *value =
+                flagValue(argc, argv, i, "--shard")) {
+            unsigned index = 0;
+            unsigned count = 0;
+            char excess = 0;
+            if (std::sscanf(value, "%u/%u%c", &index, &count,
+                            &excess) != 2 ||
+                count == 0 || index >= count) {
+                std::fprintf(stderr,
+                             "%s: bad --shard '%s' (use I/N with"
+                             " 0 <= I < N)\n",
+                             argv[0], value);
+                std::exit(2);
+            }
+            cli.options.shardIndex = index;
+            cli.options.shardCount = count;
+            continue;
+        }
+        if (const char *value =
+                flagValue(argc, argv, i, "--workers")) {
+            long n = std::strtol(value, nullptr, 10);
+            cli.workers = n >= 0 ? static_cast<unsigned>(n) : 0;
             continue;
         }
         if (const char *value =
@@ -111,6 +171,8 @@ BenchCli::parse(int argc, char **argv, const char *summary)
                              argv[0], value);
                 std::exit(2);
             }
+            cli.forwardArgs.push_back(std::string("--pool-algo=") +
+                                      value);
             continue;
         }
         if (const char *value =
@@ -118,6 +180,8 @@ BenchCli::parse(int argc, char **argv, const char *summary)
             // Negative values mean 0 (all cores), like --threads.
             long n = std::strtol(value, nullptr, 10);
             cli.pool.threads = n >= 0 ? static_cast<unsigned>(n) : 0;
+            cli.forwardArgs.push_back(
+                std::string("--pool-threads=") + value);
             continue;
         }
         if (const char *value =
@@ -129,10 +193,14 @@ BenchCli::parse(int argc, char **argv, const char *summary)
                              argv[0], value);
                 std::exit(2);
             }
+            cli.forwardArgs.push_back(
+                std::string("--dram-model=") + value);
             continue;
         }
         if (!std::strcmp(arg, "--journal") ||
             !std::strcmp(arg, "--threads") ||
+            !std::strcmp(arg, "--shard") ||
+            !std::strcmp(arg, "--workers") ||
             !std::strcmp(arg, "--pool-algo") ||
             !std::strcmp(arg, "--pool-threads") ||
             !std::strcmp(arg, "--dram-model")) {
@@ -147,7 +215,219 @@ BenchCli::parse(int argc, char **argv, const char *summary)
         std::exit(2);
     }
     cli.options.resume = !fresh;
+
+    if (cli.options.shardCount > 1 &&
+        cli.options.journalPath.empty()) {
+        std::fprintf(stderr,
+                     "%s: --shard requires --journal (the slice's"
+                     " results live in the journal)\n",
+                     argv[0]);
+        std::exit(2);
+    }
+    if (cli.options.shardCount > 1 && cli.workers != 1) {
+        std::fprintf(stderr,
+                     "%s: --shard (manual dispatch) and --workers"
+                     " (automatic dispatch) are mutually"
+                     " exclusive\n",
+                     argv[0]);
+        std::exit(2);
+    }
     return cli;
+}
+
+std::vector<RunResult>
+BenchCli::runCampaign(const Campaign &campaign)
+{
+    // Worker mode (--shard I/N): execute the slice into this
+    // process's journal and stop — the full report is the merged
+    // journal's job. Exit status 0 means the slice completed; runs
+    // that failed inside the simulation are recorded in the journal
+    // (and re-surface from the merge), not in the exit code.
+    if (options.shardCount > 1) {
+        if (json)
+            std::fprintf(stderr,
+                         "warning: --json is ignored in --shard"
+                         " worker mode; render the report from the"
+                         " merged journal (--journal MERGED"
+                         " --json=...)\n");
+        const std::vector<RunResult> results = campaign.run(options);
+        std::size_t owned = 0;
+        std::size_t failed = 0;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (i % options.shardCount != options.shardIndex)
+                continue;
+            ++owned;
+            failed += !results[i].ok;
+        }
+        std::fprintf(stderr,
+                     "shard %u/%u: %zu of %zu run(s), %zu failed,"
+                     " journal %s\n",
+                     options.shardIndex, options.shardCount, owned,
+                     results.size(), failed,
+                     options.journalPath.c_str());
+        std::exit(0);
+    }
+
+    unsigned workerCount = workers;
+    if (workerCount == 0) {
+        workerCount = std::thread::hardware_concurrency();
+        if (workerCount == 0)
+            workerCount = 1;
+    }
+    if (workerCount <= 1)
+        return campaign.run(options);
+
+    // Parent mode (--workers N): fan the campaign out across N shard
+    // subprocesses, merge their journals, and serve the report from
+    // the merge. Without --journal the artifacts live in a scratch
+    // directory, removed again when every worker succeeded.
+    std::string journal = options.journalPath;
+    std::string scratchDir;
+    if (journal.empty()) {
+        char pattern[] = "/tmp/pth_workersXXXXXX";
+        if (!::mkdtemp(pattern))
+            throw std::runtime_error(
+                "cannot create --workers scratch directory");
+        scratchDir = pattern;
+        journal = scratchDir + "/campaign.jsonl";
+    }
+
+    ShardRunnerOptions spawn;
+    // execv does no PATH search; prefer the kernel's record of this
+    // very binary over argv[0], which may be a bare name.
+    spawn.program = program;
+    char self[4096];
+    const ssize_t selfLen =
+        ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+    if (selfLen > 0)
+        spawn.program.assign(self,
+                             static_cast<std::size_t>(selfLen));
+    spawn.args = forwardArgs;
+    spawn.workers = workerCount;
+    spawn.journalBase = journal;
+    spawn.threadsPerWorker = threadsExplicit ? options.threads : 1;
+    spawn.fresh = !options.resume;
+    ShardRunner runner(spawn);
+
+    // Resume across dispatch modes: seed each shard journal with the
+    // parent journal's entries for its residue class, so a campaign
+    // previously completed (or partially completed) single-process —
+    // or by an earlier --workers run that merged — is not recomputed.
+    // Idempotent (entries the shard journal already holds under the
+    // same key are not re-appended), and workers still re-validate
+    // every seeded entry by spec key.
+    if (options.resume) {
+        auto prior = ResultStore::load(journal);
+        std::vector<std::unique_ptr<ResultStore>> seeds(workerCount);
+        std::vector<std::map<std::size_t, ResultStore::Entry>>
+            present(workerCount);
+        std::vector<char> presentLoaded(workerCount, 0);
+        for (auto &item : prior) {
+            const unsigned w =
+                static_cast<unsigned>(item.first % workerCount);
+            if (!presentLoaded[w]) {
+                present[w] =
+                    ResultStore::load(runner.shardJournalPath(w));
+                presentLoaded[w] = 1;
+            }
+            auto held = present[w].find(item.first);
+            if (held != present[w].end() &&
+                held->second.key == item.second.key)
+                continue;
+            if (!seeds[w])
+                seeds[w] = std::make_unique<ResultStore>(
+                    runner.shardJournalPath(w), /*truncate=*/false);
+            seeds[w]->record(item.second.result, item.second.key);
+        }
+    }
+
+    workerReports = runner.run();
+
+    workerDeaths = 0;
+    for (const ShardWorkerReport &report : workerReports) {
+        if (report.ok)
+            continue;
+        ++workerDeaths;
+        std::fprintf(stderr,
+                     "shard worker %u/%u died after %u attempt(s):"
+                     " %s (log: %s)\n",
+                     report.shard, workerCount, report.spawns,
+                     report.error.c_str(), report.logPath.c_str());
+        if (!report.logTail.empty())
+            std::fprintf(stderr, "--- worker %u output tail ---\n%s%s",
+                         report.shard, report.logTail.c_str(),
+                         report.logTail.back() == '\n' ? "" : "\n");
+    }
+
+    // Merge: the parent's previous journal first (resume), then the
+    // shard journals — last wins, so fresher shard results supersede.
+    std::vector<std::string> inputs;
+    if (options.resume)
+        inputs.push_back(journal);
+    std::vector<std::string> scratchFiles;
+    for (unsigned w = 0; w < workerCount; ++w) {
+        const std::string shardJournal = runner.shardJournalPath(w);
+        inputs.push_back(shardJournal);
+        scratchFiles.push_back(shardJournal);
+        scratchFiles.push_back(shardJournal + ".log");
+    }
+    ResultStore::MergeStats stats;
+    std::string mergeError;
+    const std::string merging = journal + ".merging";
+    if (!ResultStore::merge(inputs, merging, &stats, &mergeError) ||
+        std::rename(merging.c_str(), journal.c_str()) != 0) {
+        std::remove(merging.c_str());
+        throw std::runtime_error(
+            mergeError.empty() ? "cannot finalize merged journal: " +
+                                     journal
+                               : mergeError);
+    }
+    if (stats.corruptLines)
+        std::fprintf(stderr,
+                     "warning: skipped %zu corrupt line(s) while"
+                     " merging %u shard journal(s) into %s\n",
+                     stats.corruptLines, workerCount,
+                     journal.c_str());
+
+    // Serve the report from the merged journal. A run the merge
+    // cannot account for belongs to a dead worker; surface that as
+    // the run's failure instead of quietly re-executing (masking the
+    // death) or shrinking the report.
+    const std::vector<RunSpec> &specs = campaign.specs();
+    auto entries = ResultStore::load(journal);
+    std::vector<RunResult> results(specs.size());
+    bool missing = false;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        auto it = entries.find(i);
+        if (it != entries.end() &&
+            it->second.key == specKey(specs[i])) {
+            results[i] = std::move(it->second.result);
+            continue;
+        }
+        missing = true;
+        const unsigned shard =
+            static_cast<unsigned>(i % workerCount);
+        const ShardWorkerReport &report = workerReports[shard];
+        RunResult &res = results[i];
+        res = specResultShell(specs[i], i);
+        res.ok = false;
+        res.error = strfmt("shard worker %u/%u ", shard, workerCount);
+        res.error += report.ok
+                         ? "did not journal this run"
+                         : "died: " + report.error;
+        if (!report.logTail.empty())
+            res.error += "; stderr: " + report.logTail;
+    }
+
+    if (!scratchDir.empty() && !workerDeaths && !missing) {
+        scratchFiles.push_back(journal);
+        removeScratchDir(scratchDir, scratchFiles);
+    } else if (!scratchDir.empty()) {
+        std::fprintf(stderr,
+                     "worker artifacts kept for inspection in %s\n",
+                     scratchDir.c_str());
+    }
+    return results;
 }
 
 unsigned

@@ -11,6 +11,13 @@
  *                   everything
  *   --threads N     worker count (overrides PTH_THREADS; 0 = all
  *                   cores, 1 = serial)
+ *   --shard I/N     execute only runs with index % N == I into this
+ *                   process's journal (requires --journal) — the
+ *                   manual multi-host dispatch building block; merge
+ *                   the shard journals with tools/campaign_merge
+ *   --workers N     automatic local multi-process dispatch: fork N
+ *                   shard workers of this binary, merge their
+ *                   journals, report from the merged journal
  *   --pool-algo A   LLC pool-build algorithm for benches that build
  *                   eviction pools: single[-elimination] or
  *                   group[-testing] (the default)
@@ -24,8 +31,23 @@
  *   --help          usage
  *
  * Defaults: threads from PTH_THREADS (all cores when unset), no
- * journal, no JSON. parse() exits the process on --help (status 0)
- * and on unknown arguments (status 2), so benches stay one-liners.
+ * journal, no JSON, no sharding. parse() exits the process on --help
+ * (status 0) and on unknown or invalid arguments (status 2), so
+ * benches stay one-liners.
+ *
+ * Sharded dispatch runs through runCampaign(), which every bench
+ * calls in place of Campaign::run:
+ *  - plain invocation: identical to campaign.run(options);
+ *  - --shard I/N (worker mode): runs the slice, checkpoints it,
+ *    prints a one-line summary and exits — the real report comes
+ *    from the merged journal;
+ *  - --workers N (parent mode): spawns N shard workers of this very
+ *    binary via ShardRunner (crash detection + respawn/resume),
+ *    merges their journals, and returns results served from the
+ *    merged journal — byte-identical to a single-process serial run.
+ *    A worker that dies for good surfaces as failed runs carrying
+ *    its death reason and captured stderr, and in workerDeaths, so
+ *    the bench exits nonzero.
  */
 
 #ifndef PTH_HARNESS_BENCH_CLI_HH
@@ -35,6 +57,7 @@
 #include <vector>
 
 #include "harness/campaign.hh"
+#include "harness/shard_runner.hh"
 
 namespace pth
 {
@@ -42,11 +65,15 @@ namespace pth
 /** Parsed bench command line. */
 struct BenchCli
 {
-    /** Ready-to-use campaign options (threads, journal, resume). */
+    /** Ready-to-use campaign options (threads, journal, resume,
+     * shard slice). */
     CampaignOptions options;
 
     bool json = false;      //!< --json given
     std::string jsonPath;   //!< --json=PATH target; empty = stdout
+
+    /** --workers N; 1 = no process fan-out, 0 = one per core. */
+    unsigned workers = 1;
 
     /** Pool-build knobs (--pool-algo / --pool-threads); benches that
      * build LLC eviction pools copy this into their AttackConfig. */
@@ -56,11 +83,42 @@ struct BenchCli
      * RunSpec so the whole sweep runs the selected scenario. */
     FlipModelKind dramModel = FlipModelKind::Ddr3Seeded;
 
+    /** Filled by runCampaign() in --workers parent mode: one report
+     * per worker, and how many died for good (each also surfaces as
+     * failed runs in the results). Benches add workerDeaths to their
+     * failure count so a lost shard always exits nonzero. */
+    std::vector<ShardWorkerReport> workerReports;
+    unsigned workerDeaths = 0;
+
+    /** The binary (argv[0]) and the arguments a spawned shard worker
+     * must receive to rebuild the identical campaign — the parsed
+     * passthrough flags plus the sweep-shaping ones (--pool-algo,
+     * --pool-threads, --dram-model). Populated by parse(). */
+    std::string program;
+    std::vector<std::string> forwardArgs;
+
+    /** --threads was given explicitly (parent forwards it per
+     * worker; otherwise workers run serial). */
+    bool threadsExplicit = false;
+
     /**
      * Parse the standard bench flags. summary is the one-line
-     * description printed by --help.
+     * description printed by --help. Bench-specific flags the bench
+     * consumed before calling parse (e.g. bench_pool_build's
+     * --tiny) must be listed in passthrough so --workers can hand
+     * them to the shard workers it spawns.
      */
-    static BenchCli parse(int argc, char **argv, const char *summary);
+    static BenchCli
+    parse(int argc, char **argv, const char *summary,
+          const std::vector<std::string> &passthrough = {});
+
+    /**
+     * Execute the campaign under the parsed dispatch mode — see the
+     * file comment. Every bench calls this instead of
+     * Campaign::run(options). In --shard worker mode this does not
+     * return (the worker exits after checkpointing its slice).
+     */
+    std::vector<RunResult> runCampaign(const Campaign &campaign);
 
     /**
      * Print "run X failed: ..." for every failed run and return the
@@ -70,6 +128,17 @@ struct BenchCli
      */
     static unsigned
     reportFailures(const std::vector<RunResult> &results);
+
+    /**
+     * reportFailures plus workerDeaths — the one number every bench
+     * turns into its exit status, so a permanently dead shard worker
+     * can never exit 0 even if every journaled run looks fine.
+     */
+    unsigned
+    failureCount(const std::vector<RunResult> &results) const
+    {
+        return reportFailures(results) + workerDeaths;
+    }
 
     /**
      * Honor --json: render Campaign::toJson(results) to stdout or to

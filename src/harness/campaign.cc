@@ -1,6 +1,8 @@
 #include "harness/campaign.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -164,7 +166,7 @@ Campaign::addSeedSweep(const RunSpec &base, std::uint64_t seedBase,
 }
 
 RunResult
-Campaign::runOne(const RunSpec &spec, std::size_t index)
+specResultShell(const RunSpec &spec, std::size_t index)
 {
     RunResult res;
     res.index = index;
@@ -173,6 +175,13 @@ Campaign::runOne(const RunSpec &spec, std::size_t index)
     res.machine = machinePresetName(spec.preset);
     res.defense = defenseKindName(spec.defense);
     res.strategy = hammerStrategyName(spec.strategy);
+    return res;
+}
+
+RunResult
+Campaign::runOne(const RunSpec &spec, std::size_t index)
+{
+    RunResult res = specResultShell(spec, index);
 
     auto wallStart = std::chrono::steady_clock::now();
     try {
@@ -242,6 +251,14 @@ Campaign::run(const CampaignOptions &options) const
     std::vector<RunResult> results(n);
     std::vector<char> cached(n, 0);
 
+    // Shard slicing: this process owns only its residue class; other
+    // runs are journal-served or marked "not executed".
+    const unsigned shardCount = std::max(1u, options.shardCount);
+    const unsigned shardIndex = options.shardIndex % shardCount;
+    auto owned = [shardCount, shardIndex](std::size_t i) {
+        return shardCount == 1 || i % shardCount == shardIndex;
+    };
+
     // Checkpointing: load completed runs from the journal (resume)
     // and open it for appending the rest. Only an ok result whose
     // stored spec key matches the spec at the same index is reused;
@@ -254,7 +271,15 @@ Campaign::run(const CampaignOptions &options) const
         for (std::size_t i = 0; i < n; ++i)
             keys[i] = specKey(specs_[i]);
         if (options.resume) {
-            auto done = ResultStore::load(options.journalPath);
+            std::size_t corrupt = 0;
+            auto done = ResultStore::load(options.journalPath,
+                                          &corrupt);
+            if (corrupt)
+                std::fprintf(stderr,
+                             "warning: skipped %zu corrupt line(s) in"
+                             " journal %s (truncated by a kill?);"
+                             " their runs will re-execute\n",
+                             corrupt, options.journalPath.c_str());
             for (auto &item : done) {
                 const std::size_t index = item.first;
                 ResultStore::Entry &entry = item.second;
@@ -270,6 +295,17 @@ Campaign::run(const CampaignOptions &options) const
                                               !options.resume);
     }
 
+    // A run outside this shard's slice that the journal cannot serve:
+    // visibly unfinished rather than silently zero-valued.
+    auto notExecuted = [this, shardCount](std::size_t i) {
+        RunResult res = specResultShell(specs_[i], i);
+        res.ok = false;
+        res.error = strfmt(
+            "not executed: run %zu belongs to shard %zu of %u",
+            i, i % shardCount, shardCount);
+        return res;
+    };
+
     // Workers journal their own results the moment a run finishes,
     // so the checkpoint granularity is one run even under a pool.
     auto executeOne = [this, &store, &keys](std::size_t i) {
@@ -282,8 +318,8 @@ Campaign::run(const CampaignOptions &options) const
     if (options.threads == 1) {
         for (std::size_t i = 0; i < n; ++i) {
             if (!cached[i])
-                results[i] = executeOne(i);
-            if (options.rethrow && !results[i].ok)
+                results[i] = owned(i) ? executeOne(i) : notExecuted(i);
+            if (options.rethrow && owned(i) && !results[i].ok)
                 throw std::runtime_error(results[i].error);
         }
         return results;
@@ -292,14 +328,15 @@ Campaign::run(const CampaignOptions &options) const
     ThreadPool pool(options.threads);
     std::vector<std::future<RunResult>> futures(n);
     for (std::size_t i = 0; i < n; ++i)
-        if (!cached[i])
+        if (!cached[i] && owned(i))
             futures[i] =
                 pool.submit([&executeOne, i] { return executeOne(i); });
     // Joining in submission order makes completion order irrelevant.
     for (std::size_t i = 0; i < n; ++i) {
         if (!cached[i])
-            results[i] = futures[i].get();
-        if (options.rethrow && !results[i].ok)
+            results[i] =
+                owned(i) ? futures[i].get() : notExecuted(i);
+        if (options.rethrow && owned(i) && !results[i].ok)
             throw std::runtime_error(results[i].error);
     }
     return results;

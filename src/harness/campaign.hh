@@ -64,6 +64,16 @@ std::string hammerStrategyName(HammerStrategy strategy);
 /** Build the MachineConfig for a preset. */
 MachineConfig makeMachineConfig(MachinePreset preset);
 
+struct RunSpec;
+
+/**
+ * RunResult shell carrying the identity fields derived from a spec
+ * (index, label, seed, preset/defense/strategy names) — the one
+ * place they are filled, shared by run execution, shard
+ * placeholders, and dead-worker fallbacks.
+ */
+RunResult specResultShell(const RunSpec &spec, std::size_t index);
+
 /** One point of a campaign sweep. */
 struct RunSpec
 {
@@ -152,6 +162,23 @@ struct CampaignOptions
      * discard the journal and start fresh.
      */
     bool resume = true;
+
+    /**
+     * Shard slicing for multi-process (or multi-host) dispatch: with
+     * shardCount > 1 this process executes only runs whose
+     * index % shardCount == shardIndex. Results are still returned
+     * for the full campaign in index order — runs outside the slice
+     * are served from the journal when it holds them (the case after
+     * shard journals were merged back; see result_store.hh and
+     * tools/campaign_merge) and otherwise marked failed with a
+     * "not executed" error, so a partial report is visibly partial.
+     * Disjoint shards of the same campaign journal disjoint run sets,
+     * which is what makes the merged, journal-served report
+     * byte-identical to a single-process serial run. shardCount == 0
+     * or 1 disables slicing.
+     */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
 };
 
 /** A set of runs executed together. */

@@ -187,11 +187,27 @@ specKey(const RunSpec &spec)
 ResultStore::ResultStore(const std::string &path, bool truncate)
     : path_(path)
 {
+    // A journal whose process was killed mid-write can end in a torn
+    // line with no newline. Appending straight after it would glue
+    // the next record onto the torn prefix, corrupting that record
+    // too — terminate the torn line first.
+    bool needNewline = false;
+    if (!truncate) {
+        std::ifstream in(path_, std::ios::binary | std::ios::ate);
+        if (in && in.tellg() > 0) {
+            in.seekg(-1, std::ios::end);
+            char last = '\n';
+            in.get(last);
+            needNewline = last != '\n';
+        }
+    }
     out_.open(path_, truncate ? (std::ios::out | std::ios::trunc)
                               : (std::ios::out | std::ios::app));
     if (!out_)
         throw std::runtime_error("cannot open campaign journal: " +
                                  path_);
+    if (needNewline)
+        out_ << '\n';
 }
 
 void
@@ -344,9 +360,11 @@ ResultStore::deserialize(const std::string &line, Entry &out)
 }
 
 std::map<std::size_t, ResultStore::Entry>
-ResultStore::load(const std::string &path)
+ResultStore::load(const std::string &path, std::size_t *corruptLines)
 {
     std::map<std::size_t, Entry> entries;
+    if (corruptLines)
+        *corruptLines = 0;
     std::ifstream in(path);
     if (!in)
         return entries;
@@ -357,8 +375,67 @@ ResultStore::load(const std::string &path)
         Entry entry;
         if (deserialize(line, entry))
             entries[entry.result.index] = std::move(entry);
+        else if (corruptLines)
+            ++*corruptLines;
     }
     return entries;
+}
+
+bool
+ResultStore::merge(const std::vector<std::string> &inputs,
+                   std::ostream &out, MergeStats *stats)
+{
+    MergeStats local;
+    std::map<std::size_t, Entry> merged;
+    for (const std::string &path : inputs) {
+        std::ifstream in(path);
+        if (!in) {
+            ++local.missingInputs;
+            continue;
+        }
+        ++local.inputs;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            Entry entry;
+            if (!deserialize(line, entry)) {
+                ++local.corruptLines;
+                continue;
+            }
+            const std::size_t index = entry.result.index;
+            if (merged.count(index))
+                ++local.overwritten;
+            merged[index] = std::move(entry);
+        }
+    }
+    local.entries = merged.size();
+
+    for (const auto &item : merged)
+        out << serialize(item.second.result, item.second.key) << '\n';
+    out.flush();
+    if (stats)
+        *stats = local;
+    return static_cast<bool>(out);
+}
+
+bool
+ResultStore::merge(const std::vector<std::string> &inputs,
+                   const std::string &outPath, MergeStats *stats,
+                   std::string *error)
+{
+    std::ofstream out(outPath, std::ios::out | std::ios::trunc);
+    if (!out) {
+        if (error)
+            *error = "cannot write merged journal: " + outPath;
+        return false;
+    }
+    if (!merge(inputs, out, stats)) {
+        if (error)
+            *error = "short write on merged journal: " + outPath;
+        return false;
+    }
+    return true;
 }
 
 } // namespace pth

@@ -32,6 +32,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "harness/campaign_result.hh"
 
@@ -91,8 +92,48 @@ class ResultStore
      * Load every valid journal line, keyed by run index; invalid
      * lines are skipped and duplicate indices keep the last valid
      * entry. A missing file yields an empty map.
+     *
+     * When corruptLines is non-null it receives the number of
+     * non-empty lines that failed to parse — the visible trace of a
+     * truncated or mangled journal. Callers that resume or merge
+     * should surface the count instead of letting a torn shard
+     * journal quietly shrink a campaign.
      */
-    static std::map<std::size_t, Entry> load(const std::string &path);
+    static std::map<std::size_t, Entry>
+    load(const std::string &path, std::size_t *corruptLines = nullptr);
+
+    /** What ResultStore::merge saw and produced. */
+    struct MergeStats
+    {
+        unsigned inputs = 0;         //!< journals read
+        unsigned missingInputs = 0;  //!< listed but absent on disk
+        std::size_t entries = 0;     //!< runs in the merged journal
+        std::size_t overwritten = 0; //!< duplicate indices superseded
+        std::size_t corruptLines = 0;//!< unparsable lines skipped
+    };
+
+    /**
+     * Merge shard journals into one canonical journal: inputs are
+     * read in argument order, corrupt lines are skipped (counted in
+     * stats), and when several entries claim the same run index the
+     * last one read wins — so listing an old journal first and
+     * fresher shard journals after yields shard-wins semantics. The
+     * output is re-serialized in ascending index order, i.e. the
+     * same bytes a single process journaling the same results would
+     * have produced. A missing input is tolerated (a worker may die
+     * before its first checkpoint) and counted in stats.
+     *
+     * The stream overload writes the merged lines to out; the path
+     * overload truncates outPath and returns false — with a message
+     * in *error when given — only when it cannot be written.
+     */
+    static bool merge(const std::vector<std::string> &inputs,
+                      std::ostream &out,
+                      MergeStats *stats = nullptr);
+    static bool merge(const std::vector<std::string> &inputs,
+                      const std::string &outPath,
+                      MergeStats *stats = nullptr,
+                      std::string *error = nullptr);
 
   private:
     std::string path_;

@@ -1,0 +1,189 @@
+#include "harness/shard_runner.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/table.hh"
+
+namespace pth
+{
+
+ShardRunner::ShardRunner(ShardRunnerOptions options)
+    : options_(std::move(options))
+{
+}
+
+std::string
+ShardRunner::shardJournalPath(unsigned shard) const
+{
+    return options_.journalBase + strfmt(".shard%u", shard);
+}
+
+std::string
+ShardRunner::describeWaitStatus(int status)
+{
+    if (WIFEXITED(status)) {
+        const int code = WEXITSTATUS(status);
+        if (code == 127)
+            return "exec failed (exit 127)";
+        return strfmt("exited with status %d", code);
+    }
+    if (WIFSIGNALED(status))
+        return strfmt("killed by signal %d (%s)", WTERMSIG(status),
+                      strsignal(WTERMSIG(status)));
+    return strfmt("unknown wait status 0x%x", status);
+}
+
+std::string
+ShardRunner::fileTail(const std::string &path, std::size_t maxBytes)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return std::string();
+    const std::streamoff size = in.tellg();
+    const std::streamoff start =
+        size > static_cast<std::streamoff>(maxBytes)
+            ? size - static_cast<std::streamoff>(maxBytes)
+            : 0;
+    in.seekg(start);
+    std::string tail(static_cast<std::size_t>(size - start), '\0');
+    in.read(tail.data(), static_cast<std::streamsize>(tail.size()));
+    tail.resize(static_cast<std::size_t>(in.gcount()));
+    return tail;
+}
+
+std::vector<std::string>
+ShardRunner::workerArgs(unsigned shard, bool fresh) const
+{
+    std::vector<std::string> args;
+    args.push_back(options_.program);
+    args.insert(args.end(), options_.args.begin(),
+                options_.args.end());
+    args.push_back(
+        strfmt("--shard=%u/%u", shard, options_.workers));
+    args.push_back("--journal=" + shardJournalPath(shard));
+    args.push_back(strfmt("--threads=%u", options_.threadsPerWorker));
+    if (fresh)
+        args.push_back("--fresh");
+    return args;
+}
+
+long
+ShardRunner::spawn(unsigned shard, bool fresh,
+                   bool firstAttempt) const
+{
+    const std::vector<std::string> args = workerArgs(shard, fresh);
+    const std::string logPath =
+        shardJournalPath(shard) + ".log";
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        return -1;
+    if (pid > 0)
+        return pid;
+
+    // Child: capture stdout+stderr into the worker log — truncated
+    // on the invocation's first attempt so a postmortem tail can
+    // never show a previous run's output, appended across respawns
+    // so it shows every attempt of THIS run.
+    const int fd = ::open(logPath.c_str(),
+                          O_WRONLY | O_CREAT |
+                              (firstAttempt ? O_TRUNC : O_APPEND),
+                          0644);
+    if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO)
+            ::close(fd);
+    }
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string &arg : args)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(options_.program.c_str(), argv.data());
+    std::fprintf(stderr, "shard worker %u: cannot exec %s: %s\n",
+                 shard, options_.program.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+}
+
+std::vector<ShardWorkerReport>
+ShardRunner::run()
+{
+    const unsigned workers = options_.workers;
+    std::vector<ShardWorkerReport> reports(workers);
+    std::map<long, unsigned> live; // pid -> worker slot
+
+    for (unsigned w = 0; w < workers; ++w) {
+        ShardWorkerReport &report = reports[w];
+        report.shard = w;
+        report.journalPath = shardJournalPath(w);
+        report.logPath = report.journalPath + ".log";
+        // A fresh fleet must not resume stale shard journals even if
+        // a worker dies before its own --fresh truncation runs.
+        if (options_.fresh)
+            std::remove(report.journalPath.c_str());
+        const long pid =
+            spawn(w, options_.fresh, /*firstAttempt=*/true);
+        if (pid < 0) {
+            report.error = strfmt("fork failed: %s",
+                                  std::strerror(errno));
+            continue;
+        }
+        report.spawns = 1;
+        live[pid] = w;
+    }
+
+    while (!live.empty()) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // no children left we know about
+        }
+        auto it = live.find(pid);
+        if (it == live.end())
+            continue;
+        const unsigned w = it->second;
+        live.erase(it);
+        ShardWorkerReport &report = reports[w];
+
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            report.ok = true;
+            continue;
+        }
+        // Death. Respawn without --fresh: the replacement resumes
+        // from the worker's own journal and repeats only the runs
+        // the dead attempt had not checkpointed.
+        std::string respawnError;
+        if (report.spawns <= options_.maxRespawns) {
+            const long next =
+                spawn(w, /*fresh=*/false, /*firstAttempt=*/false);
+            if (next >= 0) {
+                ++report.spawns;
+                live[next] = w;
+                continue;
+            }
+            respawnError = strfmt("; respawn fork failed: %s",
+                                  std::strerror(errno));
+        }
+        report.ok = false;
+        report.error = describeWaitStatus(status) + respawnError;
+        report.logTail = fileTail(report.logPath);
+    }
+
+    return reports;
+}
+
+} // namespace pth

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Multi-process campaign dispatch: spawn N shard workers of the
+ * current bench binary, each executing the residue class
+ * index % N == shard of the same campaign (CampaignOptions::
+ * {shardIndex,shardCount}) into its own JSONL journal, then merge the
+ * shard journals back into one canonical journal
+ * (ResultStore::merge) the parent serves its report from.
+ *
+ * The runner owns the process plumbing the campaign layer cannot:
+ * fork/exec of the worker fleet, per-worker stdout+stderr capture to
+ * a log file, death detection (nonzero exit, signal, failed exec)
+ * and straggler respawn — a dead worker is re-spawned with the same
+ * shard and journal, so it resumes from its own checkpoint and only
+ * repeats the runs it lost. A worker that keeps dying past
+ * maxRespawns is reported with its decoded wait status and the tail
+ * of its captured output, which BenchCli folds into the parent's
+ * report so the bench exits nonzero instead of quietly shrinking the
+ * sweep.
+ *
+ * Because every run is executed exactly once by some worker and the
+ * journal round-trips every report-feeding field exactly, the merged
+ * report is byte-identical to a single-process serial run —
+ * tests/test_shard.cpp pins this, including under kill -9.
+ */
+
+#ifndef PTH_HARNESS_SHARD_RUNNER_HH
+#define PTH_HARNESS_SHARD_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+namespace pth
+{
+
+/** How to spawn a shard-worker fleet. */
+struct ShardRunnerOptions
+{
+    /** Binary to exec for every worker (normally argv[0]). */
+    std::string program;
+
+    /**
+     * Arguments forwarded to every worker ahead of the runner's own
+     * flags — the bench-specific knobs (--tiny, --dram-model=...)
+     * that make the worker rebuild the identical campaign.
+     */
+    std::vector<std::string> args;
+
+    /** Worker count; each gets --shard i/workers. */
+    unsigned workers = 2;
+
+    /** Shard i journals (and logs) at journalBase + ".shard<i>". */
+    std::string journalBase;
+
+    /** Worker threads each subprocess runs (--threads N). */
+    unsigned threadsPerWorker = 1;
+
+    /** Pass --fresh to the first spawn of every worker (respawns
+     * never do — resuming the worker's journal is the point). */
+    bool fresh = false;
+
+    /** Extra attempts after a death before giving a worker up. */
+    unsigned maxRespawns = 2;
+};
+
+/** What one worker slot did, across all its spawn attempts. */
+struct ShardWorkerReport
+{
+    unsigned shard = 0;         //!< --shard shard/workers
+    std::string journalPath;    //!< the worker's own journal
+    std::string logPath;        //!< captured stdout+stderr
+    unsigned spawns = 0;        //!< attempts (1 = never died)
+    bool ok = false;            //!< final attempt exited 0
+    std::string error;          //!< decoded death reason when !ok
+    std::string logTail;        //!< end of the log when !ok
+};
+
+/** Spawns, supervises and respawns a shard-worker fleet. */
+class ShardRunner
+{
+  public:
+    explicit ShardRunner(ShardRunnerOptions options);
+
+    /**
+     * Spawn every worker, wait for the fleet, respawning dead
+     * workers (resuming their journals) up to maxRespawns times
+     * each. Returns one report per worker; inspect ok/error.
+     * POSIX-only (fork/exec) — like the rest of the simulator's
+     * host tooling.
+     */
+    std::vector<ShardWorkerReport> run();
+
+    /** journalBase + ".shard<i>" — where worker i checkpoints. */
+    std::string shardJournalPath(unsigned shard) const;
+
+    /** Human-readable decode of a waitpid status. */
+    static std::string describeWaitStatus(int status);
+
+    /** Last maxBytes of a file (worker-log postmortems). */
+    static std::string fileTail(const std::string &path,
+                                std::size_t maxBytes = 2048);
+
+  private:
+    /** argv for one worker attempt. */
+    std::vector<std::string> workerArgs(unsigned shard,
+                                        bool fresh) const;
+
+    /** fork/exec one attempt; returns the pid or -1. firstAttempt
+     * truncates the worker's log, respawns append to it. */
+    long spawn(unsigned shard, bool fresh, bool firstAttempt) const;
+
+    ShardRunnerOptions options_;
+};
+
+} // namespace pth
+
+#endif // PTH_HARNESS_SHARD_RUNNER_HH

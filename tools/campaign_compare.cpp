@@ -137,9 +137,16 @@ loadRuns(const std::string &path, std::vector<Run> &out)
     }
 
     // Journal: ResultStore::load already applies the skip-corrupt /
-    // last-valid-index-wins rules.
-    for (const auto &item : ResultStore::load(path))
+    // last-valid-index-wins rules; a nonzero corrupt count means the
+    // journal is partial, which the comparison should say out loud.
+    std::size_t corrupt = 0;
+    for (const auto &item : ResultStore::load(path, &corrupt))
         out.push_back(fromResult(item.second.result));
+    if (corrupt)
+        std::fprintf(stderr,
+                     "%s: warning: skipped %zu corrupt journal"
+                     " line(s)\n",
+                     path.c_str(), corrupt);
     if (out.empty())
         std::fprintf(stderr,
                      "%s: neither a campaign report nor a journal\n",
