@@ -18,6 +18,23 @@ Cache::Cache(const CacheConfig &config, std::string name)
     pth_assert(cfg.ways >= 1, "cache needs at least one way");
 }
 
+Cache::Cache(const Cache &other)
+    : cfg(other.cfg), label(other.label), hash(other.hash),
+      lines(other.lines), policy(other.policy->clone()),
+      nHits(other.nHits), nMisses(other.nMisses)
+{
+}
+
+std::uint64_t
+Cache::stateHash() const
+{
+    std::uint64_t h = hashCombine(0x5ca1e, nHits);
+    h = hashCombine(h, nMisses);
+    for (const Line &line : lines)
+        h = hashCombine(h, line.valid ? line.tag | (1ull << 63) : 0);
+    return h;
+}
+
 std::uint64_t
 Cache::setIndex(PhysAddr pa) const
 {
@@ -73,10 +90,15 @@ Cache::contains(PhysAddr pa) const
 bool
 Cache::access(PhysAddr pa)
 {
-    std::uint64_t set = globalSet(pa);
-    std::uint64_t tag = tagOf(pa);
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        Line &line = lineAt(set, w);
+    // Row base hoisted out of the way scan: lineAt() re-derives
+    // set * ways per probe, and all three levels run this loop on
+    // every memory reference — it dominates the per-access profile.
+    const std::uint64_t set = globalSet(pa);
+    const std::uint64_t tag = tagOf(pa);
+    Line *row = &lines[set * cfg.ways];
+    const unsigned ways = cfg.ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &line = row[w];
         if (line.valid && line.tag == tag) {
             policy->touch(set, w);
             ++nHits;
@@ -90,31 +112,38 @@ Cache::access(PhysAddr pa)
 std::optional<PhysAddr>
 Cache::fill(PhysAddr pa)
 {
-    std::uint64_t set = globalSet(pa);
-    std::uint64_t tag = tagOf(pa);
+    const std::uint64_t set = globalSet(pa);
+    const std::uint64_t tag = tagOf(pa);
+    Line *row = &lines[set * cfg.ways];
+    const unsigned ways = cfg.ways;
 
-    // Already present: refresh replacement state only.
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        Line &line = lineAt(set, w);
-        if (line.valid && line.tag == tag) {
+    // One scan finds both an already-present line and the first free
+    // way (the former used to be a separate full pass).
+    unsigned freeWay = ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &line = row[w];
+        if (!line.valid) {
+            if (freeWay == ways)
+                freeWay = w;
+            continue;
+        }
+        if (line.tag == tag) {
+            // Already present: refresh replacement state only.
             policy->touch(set, w);
             return std::nullopt;
         }
     }
 
-    // Free way if any.
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        Line &line = lineAt(set, w);
-        if (!line.valid) {
-            line.valid = true;
-            line.tag = tag;
-            policy->insert(set, w);
-            return std::nullopt;
-        }
+    if (freeWay != ways) {
+        Line &line = row[freeWay];
+        line.valid = true;
+        line.tag = tag;
+        policy->insert(set, freeWay);
+        return std::nullopt;
     }
 
     unsigned w = policy->victim(set);
-    Line &line = lineAt(set, w);
+    Line &line = row[w];
     PhysAddr evicted = line.tag << kLineShift;
     line.tag = tag;
     policy->insert(set, w);

@@ -30,6 +30,17 @@ class Cache
      */
     Cache(const CacheConfig &config, std::string name = "cache");
 
+    /** Deep copy: lines, replacement-policy state, and hit/miss
+     * counters all carry over (Machine snapshot/fork support). */
+    Cache(const Cache &other);
+
+    /**
+     * Digest of the observable state — every line (tag + valid) in
+     * index order plus the hit/miss counters. Used by
+     * Machine::stateFingerprint for snapshot audits.
+     */
+    std::uint64_t stateHash() const;
+
     /** True when the line holding pa is present. */
     bool contains(PhysAddr pa) const;
 

@@ -30,6 +30,20 @@ struct CacheConfig
     }
 };
 
+/** Field-wise equality (campaign snapshot-sharing detection). */
+inline bool
+operator==(const CacheConfig &a, const CacheConfig &b)
+{
+    return a.sets == b.sets && a.ways == b.ways && a.slices == b.slices &&
+           a.latency == b.latency && a.replacement == b.replacement;
+}
+
+inline bool
+operator!=(const CacheConfig &a, const CacheConfig &b)
+{
+    return !(a == b);
+}
+
 /** The three-level hierarchy used by the paper's machines. */
 struct CacheHierarchyConfig
 {
@@ -37,6 +51,18 @@ struct CacheHierarchyConfig
     CacheConfig l2{512, 8, 1, 12, ReplacementKind::Lru};
     CacheConfig llc{2048, 12, 2, 30, ReplacementKind::Lru};
 };
+
+inline bool
+operator==(const CacheHierarchyConfig &a, const CacheHierarchyConfig &b)
+{
+    return a.l1d == b.l1d && a.l2 == b.l2 && a.llc == b.llc;
+}
+
+inline bool
+operator!=(const CacheHierarchyConfig &a, const CacheHierarchyConfig &b)
+{
+    return !(a == b);
+}
 
 } // namespace pth
 

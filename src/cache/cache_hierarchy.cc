@@ -1,6 +1,7 @@
 #include "cache/cache_hierarchy.hh"
 
 #include "dram/dram.hh"
+#include "common/random.hh"
 
 namespace pth
 {
@@ -10,6 +11,19 @@ CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig &config,
     : l1Cache(config.l1d, "l1d"), l2Cache(config.l2, "l2"),
       llcCache(config.llc, "llc"), dram(dram_)
 {
+}
+
+CacheHierarchy::CacheHierarchy(const CacheHierarchy &other, Dram &dram_)
+    : l1Cache(other.l1Cache), l2Cache(other.l2Cache),
+      llcCache(other.llcCache), dram(dram_), nLlcMisses(other.nLlcMisses)
+{
+}
+
+std::uint64_t
+CacheHierarchy::stateHash() const
+{
+    std::uint64_t h = hashCombine(nLlcMisses, l1Cache.stateHash());
+    return hashCombine(h, l2Cache.stateHash(), llcCache.stateHash());
 }
 
 MemAccessResult

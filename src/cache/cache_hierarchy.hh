@@ -39,6 +39,10 @@ class CacheHierarchy
   public:
     CacheHierarchy(const CacheHierarchyConfig &config, Dram &dram);
 
+    /** Deep copy rewired to a new Dram (Machine snapshot/fork): all
+     * three levels, replacement state, and the LLC-miss counter. */
+    CacheHierarchy(const CacheHierarchy &other, Dram &dram);
+
     /**
      * Read or write the line holding pa at simulated time now,
      * filling all levels on the way back.
@@ -64,6 +68,10 @@ class CacheHierarchy
 
     /** Drop all cached lines (context-switch-free full flush). */
     void flushAll();
+
+    /** Digest of all three levels plus the LLC-miss counter
+     * (snapshot audits). */
+    std::uint64_t stateHash() const;
 
   private:
     Cache l1Cache;

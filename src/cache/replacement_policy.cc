@@ -77,6 +77,12 @@ LruPolicy::victim(std::uint64_t set)
     return best;
 }
 
+std::unique_ptr<ReplacementPolicy>
+LruPolicy::clone() const
+{
+    return std::make_unique<LruPolicy>(*this);
+}
+
 TreePlruPolicy::TreePlruPolicy(std::uint64_t sets, unsigned ways_)
     : ways(ways_)
 {
@@ -135,6 +141,12 @@ TreePlruPolicy::victim(std::uint64_t set)
     return ways - 1;
 }
 
+std::unique_ptr<ReplacementPolicy>
+TreePlruPolicy::clone() const
+{
+    return std::make_unique<TreePlruPolicy>(*this);
+}
+
 NruPolicy::NruPolicy(std::uint64_t sets, unsigned ways_, std::uint64_t seed)
     : ways(ways_), refBits(sets * ways_, 0), rng(seed)
 {
@@ -175,6 +187,12 @@ NruPolicy::victim(std::uint64_t set)
         }
     }
     return ways - 1;
+}
+
+std::unique_ptr<ReplacementPolicy>
+NruPolicy::clone() const
+{
+    return std::make_unique<NruPolicy>(*this);
 }
 
 AgingPolicy::AgingPolicy(std::uint64_t sets, unsigned ways_,
@@ -240,6 +258,12 @@ AgingPolicy::victim(std::uint64_t set)
     return static_cast<unsigned>(rng.below(ways));
 }
 
+std::unique_ptr<ReplacementPolicy>
+AgingPolicy::clone() const
+{
+    return std::make_unique<AgingPolicy>(*this);
+}
+
 RandomPolicy::RandomPolicy(unsigned ways_, std::uint64_t seed)
     : ways(ways_), rng(seed)
 {
@@ -259,6 +283,12 @@ unsigned
 RandomPolicy::victim(std::uint64_t)
 {
     return static_cast<unsigned>(rng.below(ways));
+}
+
+std::unique_ptr<ReplacementPolicy>
+RandomPolicy::clone() const
+{
+    return std::make_unique<RandomPolicy>(*this);
 }
 
 } // namespace pth

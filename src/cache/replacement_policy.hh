@@ -46,6 +46,13 @@ class ReplacementPolicy
     /** Choose the way to evict from the given (full) set. */
     virtual unsigned victim(std::uint64_t set) = 0;
 
+    /**
+     * Deep copy, including per-set state and any internal RNG, so a
+     * cloned structure replays victim choices bit-identically
+     * (Machine snapshot/fork support).
+     */
+    virtual std::unique_ptr<ReplacementPolicy> clone() const = 0;
+
     /** Factory. */
     static std::unique_ptr<ReplacementPolicy> create(
         ReplacementKind kind, std::uint64_t sets, unsigned ways,
@@ -61,6 +68,7 @@ class LruPolicy : public ReplacementPolicy
     void touch(std::uint64_t set, unsigned way) override;
     void insert(std::uint64_t set, unsigned way) override;
     unsigned victim(std::uint64_t set) override;
+    std::unique_ptr<ReplacementPolicy> clone() const override;
 
   private:
     unsigned ways;
@@ -81,6 +89,7 @@ class TreePlruPolicy : public ReplacementPolicy
     void touch(std::uint64_t set, unsigned way) override;
     void insert(std::uint64_t set, unsigned way) override;
     unsigned victim(std::uint64_t set) override;
+    std::unique_ptr<ReplacementPolicy> clone() const override;
 
   private:
     void updatePath(std::uint64_t set, unsigned way);
@@ -107,6 +116,7 @@ class NruPolicy : public ReplacementPolicy
     void touch(std::uint64_t set, unsigned way) override;
     void insert(std::uint64_t set, unsigned way) override;
     unsigned victim(std::uint64_t set) override;
+    std::unique_ptr<ReplacementPolicy> clone() const override;
 
   private:
     unsigned ways;
@@ -131,6 +141,7 @@ class AgingPolicy : public ReplacementPolicy
     void touch(std::uint64_t set, unsigned way) override;
     void insert(std::uint64_t set, unsigned way) override;
     unsigned victim(std::uint64_t set) override;
+    std::unique_ptr<ReplacementPolicy> clone() const override;
 
   private:
     static constexpr std::uint8_t touchAge = 4;
@@ -151,6 +162,7 @@ class RandomPolicy : public ReplacementPolicy
     void touch(std::uint64_t set, unsigned way) override;
     void insert(std::uint64_t set, unsigned way) override;
     unsigned victim(std::uint64_t set) override;
+    std::unique_ptr<ReplacementPolicy> clone() const override;
 
   private:
     unsigned ways;

@@ -46,6 +46,18 @@ class Cpu
     /** Currently running process. */
     Process &process();
 
+    /** Running process, or null before the first setProcess. */
+    const Process *currentOrNull() const { return current; }
+
+    /**
+     * Reinstall a process without the context-switch side effects
+     * (clock charge, TLB/PSC flush). Machine's copy constructor uses
+     * this to point the cloned CPU at the cloned process: the copied
+     * MMU state *is* the pre-snapshot state, so flushing it would
+     * break byte-identical replay.
+     */
+    void restoreProcess(Process &proc) { current = &proc; }
+
     /** Timed load/store of the line at va. Advances the clock. */
     AccessOutcome access(VirtAddr va, bool write = false);
 

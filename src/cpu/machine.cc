@@ -1,5 +1,7 @@
 #include "cpu/machine.hh"
 
+#include "common/random.hh"
+
 namespace pth
 {
 
@@ -14,6 +16,45 @@ Machine::Machine(const MachineConfig &config)
                                     dramDev.vulnerability(), clk,
                                     cfg.defense);
     processor = std::make_unique<Cpu>(cfg, clk, mmuDev, hierarchy, pmem);
+}
+
+Machine::Machine(const Machine &other)
+    : cfg(other.cfg), clk(other.clk), pmem(other.pmem),
+      dramDev(other.dramDev, pmem), hierarchy(other.hierarchy, dramDev),
+      mmuDev(other.mmuDev, pmem, hierarchy)
+{
+    kern = std::make_unique<Kernel>(*other.kern, pmem, dramDev.mapping(),
+                                    dramDev.vulnerability(), clk);
+    processor = std::make_unique<Cpu>(cfg, clk, mmuDev, hierarchy, pmem);
+    // Point the cloned CPU at the cloned process without context-switch
+    // side effects (the copied MMU state must stay untouched).
+    if (const Process *cur = other.processor->currentOrNull())
+        processor->restoreProcess(kern->process(cur->pid()));
+}
+
+std::unique_ptr<Machine>
+Machine::clone() const
+{
+    return std::make_unique<Machine>(*this);
+}
+
+MachineSnapshot
+Machine::snapshot() const
+{
+    return MachineSnapshot(*this);
+}
+
+std::uint64_t
+Machine::stateFingerprint() const
+{
+    std::uint64_t h = hashCombine(0xf19, clk.now());
+    h = hashCombine(h, pmem.contentHash(), pmem.materializedPages());
+    h = hashCombine(h, dramDev.stateHash());
+    h = hashCombine(h, hierarchy.stateHash());
+    h = hashCombine(h, mmuDev.stateHash());
+    h = hashCombine(h, kern->stateHash());
+    const Process *cur = processor->currentOrNull();
+    return hashCombine(h, cur ? cur->pid() + 1 : 0);
 }
 
 } // namespace pth

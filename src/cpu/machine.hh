@@ -21,11 +21,40 @@
 namespace pth
 {
 
+class MachineSnapshot;
+
 /** A complete machine instance. */
 class Machine
 {
   public:
     explicit Machine(const MachineConfig &config);
+
+    /**
+     * Deep copy (snapshot fork): every component — clock, memory
+     * contents, DRAM disturbance accounting and pending flips, cache
+     * lines with replacement state, TLBs/PSCs, kernel allocators and
+     * processes — is copied and rewired so the clone replays
+     * byte-identically to the original from this point on, and neither
+     * machine can observe the other.
+     */
+    Machine(const Machine &other);
+
+    Machine &operator=(const Machine &) = delete;
+
+    /** Deep-copy factory (the fork operation). */
+    std::unique_ptr<Machine> clone() const;
+
+    /** Capture the current state as a reusable snapshot. */
+    MachineSnapshot snapshot() const;
+
+    /**
+     * Digest of the complete observable state (memory contents, cache
+     * and TLB arrays, device and kernel counters). Equal fingerprints
+     * are a necessary condition for byte-identical replay; tests use
+     * this to audit that clones diverge from their source in no
+     * component.
+     */
+    std::uint64_t stateFingerprint() const;
 
     /** Configuration this machine was built from. */
     const MachineConfig &config() const { return cfg; }
@@ -53,6 +82,49 @@ class Machine
     Mmu mmuDev;
     std::unique_ptr<Kernel> kern;
     std::unique_ptr<Cpu> processor;
+};
+
+/**
+ * A frozen machine state that can be instantiated any number of times.
+ *
+ * The snapshot owns one immutable Machine (shared, so copying a
+ * snapshot is cheap); instantiate() deep-copies it into a fresh,
+ * runnable Machine. Because instantiate() only *reads* the frozen
+ * machine, concurrent instantiation from multiple threads is safe —
+ * the property Campaign's per-worker forking relies on.
+ *
+ * Contract (pinned by tests/test_snapshot.cpp): a run on an
+ * instantiated machine produces byte-identical results to the same run
+ * on a cold-constructed machine that executed the same pre-snapshot
+ * history.
+ */
+class MachineSnapshot
+{
+  public:
+    /** Freeze a copy of a live machine. */
+    explicit MachineSnapshot(const Machine &machine)
+        : frozen(std::make_shared<const Machine>(machine))
+    {
+    }
+
+    /** Adopt a machine wholesale (no copy); it must not be used
+     * elsewhere afterwards. */
+    explicit MachineSnapshot(std::unique_ptr<Machine> machine)
+        : frozen(std::move(machine))
+    {
+    }
+
+    /** Fork a fresh runnable machine from the frozen state. */
+    std::unique_ptr<Machine> instantiate() const
+    {
+        return std::make_unique<Machine>(*frozen);
+    }
+
+    /** The frozen state (read-only). */
+    const Machine &machine() const { return *frozen; }
+
+  private:
+    std::shared_ptr<const Machine> frozen;
 };
 
 } // namespace pth

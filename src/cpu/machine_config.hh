@@ -87,6 +87,30 @@ struct MachineConfig
     MachineConfig &withDramModel(FlipModelKind kind);
 };
 
+/**
+ * Field-wise equality. Campaign uses this to detect run specs whose
+ * derived machines are identical and can therefore fork from one warm
+ * snapshot instead of each booting from scratch.
+ */
+inline bool
+operator==(const MachineConfig &a, const MachineConfig &b)
+{
+    return a.name == b.name && a.architecture == b.architecture &&
+           a.cpuModel == b.cpuModel && a.dramModel == b.dramModel &&
+           a.ghz == b.ghz && a.dramGeometry == b.dramGeometry &&
+           a.dramTiming == b.dramTiming &&
+           a.disturbance == b.disturbance && a.caches == b.caches &&
+           a.tlb == b.tlb && a.psc == b.psc && a.kernel == b.kernel &&
+           a.defense == b.defense && a.batchOverlap == b.batchOverlap &&
+           a.nopCycles == b.nopCycles && a.rdtscCycles == b.rdtscCycles;
+}
+
+inline bool
+operator!=(const MachineConfig &a, const MachineConfig &b)
+{
+    return !(a == b);
+}
+
 } // namespace pth
 
 #endif // PTH_CPU_MACHINE_CONFIG_HH

@@ -1,6 +1,7 @@
 #include "dram/dram.hh"
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "mem/physical_memory.hh"
 
 namespace pth
@@ -13,6 +14,29 @@ Dram::Dram(const DramGeometry &geometry, const DramTiming &timing_,
       bankState(geometry.banks), refreshWindow(disturbance.refreshWindowCycles)
 {
     pth_assert(refreshWindow > 0, "refresh window must be nonzero");
+}
+
+Dram::Dram(const Dram &other, PhysicalMemory &memory)
+    : map(other.map), timing(other.timing), model(other.model->clone()),
+      mem(memory), bankState(other.bankState),
+      pendingFlips(other.pendingFlips), refreshWindow(other.refreshWindow),
+      activations(other.activations), rowHits(other.rowHits),
+      flipsInjected(other.flipsInjected)
+{
+}
+
+std::uint64_t
+Dram::stateHash() const
+{
+    std::uint64_t h = hashCombine(0xd7a3, activations, rowHits);
+    h = hashCombine(h, flipsInjected);
+    for (const BankState &bank : bankState)
+        h = hashCombine(h, bank.open, bank.openRow);
+    for (const FlipEvent &flip : pendingFlips) {
+        h = hashCombine(h, flip.address, flip.bitInByte, flip.wasOne);
+        h = hashCombine(h, flip.bank, flip.row);
+    }
+    return h;
 }
 
 DramAccessResult

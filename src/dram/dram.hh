@@ -63,6 +63,15 @@ class Dram
          const DisturbanceConfig &disturbance, PhysicalMemory &memory);
 
     /**
+     * Deep copy rewired to a new backing store (Machine snapshot/fork):
+     * row-buffer state, the flip model (weak cells + window
+     * accounting), pending flip events, and lifetime counters all
+     * carry over. The scratch vectors start empty — they are cleared
+     * at the top of every use, so this is not observable.
+     */
+    Dram(const Dram &other, PhysicalMemory &memory);
+
+    /**
      * Access (read or write) the line containing pa at simulated time
      * now. Updates row buffers and disturbance counters and may inject
      * bit flips.
@@ -107,6 +116,10 @@ class Dram
 
     /** Total row-buffer hits. */
     std::uint64_t totalRowHits() const { return rowHits; }
+
+    /** Digest of device state — row buffers, pending flips, lifetime
+     * counters — for snapshot audits (Machine::stateFingerprint). */
+    std::uint64_t stateHash() const;
 
     /**
      * Reset the device between experiments: close row buffers, forget

@@ -122,6 +122,14 @@ class FlipModel
     /** Forget all accounting state (device reset between experiments). */
     virtual void reset();
 
+    /**
+     * Deep copy — weak-cell map, window accounting, and any
+     * model-specific state (TRR trackers, ECC latent cells) — so a
+     * snapshot clone trips and injects the same cells at the same
+     * accesses (Machine snapshot/fork support).
+     */
+    virtual std::unique_ptr<FlipModel> clone() const = 0;
+
   protected:
     /** Bump (bank, row)'s activation counter for the window. */
     void recordActivation(unsigned bank, std::uint64_t row,
@@ -160,6 +168,11 @@ class Ddr3FlipModel : public FlipModel
   public:
     using FlipModel::FlipModel;
     FlipModelKind kind() const override { return FlipModelKind::Ddr3Seeded; }
+
+    std::unique_ptr<FlipModel> clone() const override
+    {
+        return std::make_unique<Ddr3FlipModel>(*this);
+    }
 };
 
 /** DDR4-style target-row-refresh mitigation over DDR3 accounting. */
@@ -178,6 +191,11 @@ class TrrFlipModel : public FlipModel
                      std::uint64_t actsPerWindow,
                      std::vector<Victim> &victims) const override;
     void reset() override;
+
+    std::unique_ptr<FlipModel> clone() const override
+    {
+        return std::make_unique<TrrFlipModel>(*this);
+    }
 
     /** Effective refresh threshold (resolves the 0 = auto default). */
     std::uint64_t refreshThreshold() const;
@@ -230,6 +248,11 @@ class Distance2FlipModel : public FlipModel
                      const std::vector<std::uint64_t> &aggressors,
                      std::uint64_t actsPerWindow,
                      std::vector<Victim> &victims) const override;
+
+    std::unique_ptr<FlipModel> clone() const override
+    {
+        return std::make_unique<Distance2FlipModel>(*this);
+    }
 };
 
 /** DDR3 accounting behind a single-error-correcting ECC word. */
@@ -245,6 +268,11 @@ class EccFlipModel : public FlipModel
                        const WeakCell &cell,
                        std::vector<Injection> &inject) override;
     void reset() override;
+
+    std::unique_ptr<FlipModel> clone() const override
+    {
+        return std::make_unique<EccFlipModel>(*this);
+    }
 
   private:
     /** Tripped-but-corrected cells of one codeword. */

@@ -3,6 +3,8 @@
 #include "common/table.hh"
 #include "dram/flip_model.hh"
 #include "harness/result_store.hh"
+#include "harness/scratch_dir.hh"
+#include "harness/self_exe.hh"
 
 #include <cstdio>
 #include <cstdlib>
@@ -12,8 +14,6 @@
 #include <memory>
 #include <stdexcept>
 #include <thread>
-
-#include <unistd.h>
 
 namespace pth
 {
@@ -29,7 +29,7 @@ usage(const char *prog, const char *summary)
         "usage: %s [--json[=PATH]] [--journal PATH] [--fresh]\n"
         "       %*s [--threads N] [--shard I/N] [--workers N]\n"
         "       %*s [--pool-algo A] [--pool-threads N]\n"
-        "       %*s [--dram-model M]\n\n"
+        "       %*s [--dram-model M] [--cold-machines]\n\n"
         "  --json[=PATH]   dump the raw campaign JSON report after\n"
         "                  the table (stdout, or clean to PATH)\n"
         "  --journal PATH  checkpoint completed runs to the JSONL\n"
@@ -56,6 +56,11 @@ usage(const char *prog, const char *summary)
         "  --dram-model M  DRAM flip model for every run: ddr3\n"
         "                  (default), trr (ddr4-trr), distance2\n"
         "                  (half-double) or ecc\n"
+        "  --cold-machines construct every run's machine from scratch\n"
+        "                  instead of forking runs that share a\n"
+        "                  machine configuration from one warm\n"
+        "                  snapshot (results are identical either\n"
+        "                  way; this trades setup time for isolation)\n"
         "  --help          this text\n",
         prog, static_cast<int>(std::strlen(prog)), "",
         static_cast<int>(std::strlen(prog)), "",
@@ -78,16 +83,6 @@ flagValue(int argc, char **argv, int &i, const char *flag)
         std::strncmp(argv[i + 1], "--", 2) != 0)
         return argv[++i];
     return nullptr;
-}
-
-/** Best-effort delete of the --workers scratch directory. */
-void
-removeScratchDir(const std::string &dir,
-                 const std::vector<std::string> &files)
-{
-    for (const std::string &file : files)
-        std::remove(file.c_str());
-    ::rmdir(dir.c_str());
 }
 
 } // namespace
@@ -122,6 +117,13 @@ BenchCli::parse(int argc, char **argv, const char *summary,
         }
         if (!std::strcmp(arg, "--fresh")) {
             fresh = true;
+            continue;
+        }
+        if (!std::strcmp(arg, "--cold-machines")) {
+            cli.options.reuseMachines = false;
+            // Forwarded so shard workers compute the same journal
+            // spec keys (snapshot eligibility is folded into them).
+            cli.forwardArgs.push_back("--cold-machines");
             continue;
         }
         if (const char *value =
@@ -280,28 +282,19 @@ BenchCli::runCampaign(const Campaign &campaign)
     // Parent mode (--workers N): fan the campaign out across N shard
     // subprocesses, merge their journals, and serve the report from
     // the merge. Without --journal the artifacts live in a scratch
-    // directory, removed again when every worker succeeded.
+    // directory the guard removes on every exit path — success,
+    // merge failure or exception — unless kept for inspection.
     std::string journal = options.journalPath;
-    std::string scratchDir;
+    ScratchDirGuard scratch;
     if (journal.empty()) {
-        char pattern[] = "/tmp/pth_workersXXXXXX";
-        if (!::mkdtemp(pattern))
-            throw std::runtime_error(
-                "cannot create --workers scratch directory");
-        scratchDir = pattern;
-        journal = scratchDir + "/campaign.jsonl";
+        scratch = ScratchDirGuard::create("/tmp/pth_workersXXXXXX");
+        journal = scratch.path() + "/campaign.jsonl";
     }
 
     ShardRunnerOptions spawn;
     // execv does no PATH search; prefer the kernel's record of this
     // very binary over argv[0], which may be a bare name.
-    spawn.program = program;
-    char self[4096];
-    const ssize_t selfLen =
-        ::readlink("/proc/self/exe", self, sizeof(self) - 1);
-    if (selfLen > 0)
-        spawn.program.assign(self,
-                             static_cast<std::size_t>(selfLen));
+    spawn.program = resolveSelfExe(program);
     spawn.args = forwardArgs;
     spawn.workers = workerCount;
     spawn.journalBase = journal;
@@ -364,13 +357,8 @@ BenchCli::runCampaign(const Campaign &campaign)
     std::vector<std::string> inputs;
     if (options.resume)
         inputs.push_back(journal);
-    std::vector<std::string> scratchFiles;
-    for (unsigned w = 0; w < workerCount; ++w) {
-        const std::string shardJournal = runner.shardJournalPath(w);
-        inputs.push_back(shardJournal);
-        scratchFiles.push_back(shardJournal);
-        scratchFiles.push_back(shardJournal + ".log");
-    }
+    for (unsigned w = 0; w < workerCount; ++w)
+        inputs.push_back(runner.shardJournalPath(w));
     ResultStore::MergeStats stats;
     std::string mergeError;
     const std::string merging = journal + ".merging";
@@ -394,13 +382,18 @@ BenchCli::runCampaign(const Campaign &campaign)
     // the run's failure instead of quietly re-executing (masking the
     // death) or shrinking the report.
     const std::vector<RunSpec> &specs = campaign.specs();
+    // Validate against the keys the workers actually journal under —
+    // they fold in the snapshot-sharing bit (Campaign::specKeys), so
+    // raw specKey(spec) would reject every shared-machine entry.
+    const std::vector<std::uint64_t> expectedKeys =
+        campaign.specKeys(options);
     auto entries = ResultStore::load(journal);
     std::vector<RunResult> results(specs.size());
     bool missing = false;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         auto it = entries.find(i);
         if (it != entries.end() &&
-            it->second.key == specKey(specs[i])) {
+            it->second.key == expectedKeys[i]) {
             results[i] = std::move(it->second.result);
             continue;
         }
@@ -419,14 +412,14 @@ BenchCli::runCampaign(const Campaign &campaign)
             res.error += "; stderr: " + report.logTail;
     }
 
-    if (!scratchDir.empty() && !workerDeaths && !missing) {
-        scratchFiles.push_back(journal);
-        removeScratchDir(scratchDir, scratchFiles);
-    } else if (!scratchDir.empty()) {
+    if (scratch.active() && (workerDeaths || missing)) {
         std::fprintf(stderr,
                      "worker artifacts kept for inspection in %s\n",
-                     scratchDir.c_str());
+                     scratch.path().c_str());
+        scratch.keep();
     }
+    // Otherwise the guard removes the scratch directory — worker
+    // journals, logs and the merged journal — as it goes out of scope.
     return results;
 }
 

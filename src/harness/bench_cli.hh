@@ -28,6 +28,10 @@
  *                   ddr3 (the seeded default), trr (DDR4-style
  *                   target-row-refresh), distance2 (half-double) or
  *                   ecc (single-error-correcting DIMMs)
+ *   --cold-machines disable machine snapshot sharing
+ *                   (CampaignOptions::reuseMachines): every run
+ *                   cold-constructs its machine; reports are
+ *                   byte-identical either way
  *   --help          usage
  *
  * Defaults: threads from PTH_THREADS (all cores when unset), no

@@ -6,12 +6,14 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "attack/explicit_hammer.hh"
 #include "attack/pthammer.hh"
 #include "common/json.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "cpu/machine.hh"
 #include "harness/result_store.hh"
@@ -32,6 +34,55 @@ enum SeedStream : std::uint64_t
     kStreamTlbL2 = 4,
     kStreamAttack = 5,
 };
+
+/** What a spec's declarative fields and seed resolve to. */
+struct DerivedRun
+{
+    MachineConfig config;
+    AttackConfig attack;
+};
+
+/**
+ * Resolve a spec to the MachineConfig and AttackConfig its run uses:
+ * preset, defense, DRAM model, seed re-keying per the spec's
+ * SeedScope, then the tweakMachine hook. Deterministic — run() calls
+ * it again during snapshot-sharing detection and must see the same
+ * config runOne builds the machine from.
+ */
+DerivedRun
+deriveRun(const RunSpec &spec)
+{
+    DerivedRun derived;
+    derived.config = makeMachineConfig(spec.preset);
+    derived.config.defense = spec.defense;
+    if (spec.dramModel != FlipModelKind::Ddr3Seeded)
+        derived.config.withDramModel(spec.dramModel);
+
+    // Re-key every stochastic stream in scope from the run seed so
+    // runs with different seeds decorrelate and equal seeds replay.
+    // Seed 0 keeps the library defaults (exact replay of a
+    // stand-alone, un-swept run).
+    derived.attack = spec.attack;
+    if (spec.seed != 0) {
+        MachineConfig &config = derived.config;
+        if (spec.seedScope == SeedScope::AllStreams) {
+            config.disturbance.seed =
+                hashCombine(config.disturbance.seed, spec.seed,
+                            kStreamDisturbance);
+            config.kernel.seed = hashCombine(config.kernel.seed,
+                                             spec.seed, kStreamKernel);
+            config.tlb.l1d.seed = hashCombine(config.tlb.l1d.seed,
+                                              spec.seed, kStreamTlbL1);
+            config.tlb.l2s.seed = hashCombine(config.tlb.l2s.seed,
+                                              spec.seed, kStreamTlbL2);
+        }
+        derived.attack.seed =
+            hashCombine(derived.attack.seed, spec.seed, kStreamAttack);
+    }
+    if (spec.tweakMachine)
+        spec.tweakMachine(derived.config);
+    return derived;
+}
 
 /** Fill the result fields shared by every strategy. */
 void
@@ -165,6 +216,19 @@ Campaign::addSeedSweep(const RunSpec &base, std::uint64_t seedBase,
     }
 }
 
+void
+Campaign::addAttackSeedSweep(const RunSpec &base, std::uint64_t seedBase,
+                             unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        RunSpec spec = base;
+        spec.seed = seedBase + i;
+        spec.seedScope = SeedScope::AttackOnly;
+        spec.label = base.label + strfmt("/seed%u", i);
+        add(std::move(spec));
+    }
+}
+
 RunResult
 specResultShell(const RunSpec &spec, std::size_t index)
 {
@@ -179,40 +243,27 @@ specResultShell(const RunSpec &spec, std::size_t index)
 }
 
 RunResult
-Campaign::runOne(const RunSpec &spec, std::size_t index)
+Campaign::runOne(const RunSpec &spec, std::size_t index,
+                 const MachineSnapshot *snapshot)
 {
     RunResult res = specResultShell(spec, index);
 
     auto wallStart = std::chrono::steady_clock::now();
     try {
-        MachineConfig config = makeMachineConfig(spec.preset);
-        config.defense = spec.defense;
-        if (spec.dramModel != FlipModelKind::Ddr3Seeded)
-            config.withDramModel(spec.dramModel);
+        DerivedRun derived = deriveRun(spec);
+        const AttackConfig &attack = derived.attack;
 
-        // Re-key every stochastic stream from the run seed so runs
-        // with different seeds decorrelate and equal seeds replay.
-        // Seed 0 keeps the library defaults (exact replay of a
-        // stand-alone, un-swept run).
-        AttackConfig attack = spec.attack;
-        if (spec.seed != 0) {
-            config.disturbance.seed =
-                hashCombine(config.disturbance.seed, spec.seed,
-                            kStreamDisturbance);
-            config.kernel.seed = hashCombine(config.kernel.seed,
-                                             spec.seed, kStreamKernel);
-            config.tlb.l1d.seed = hashCombine(config.tlb.l1d.seed,
-                                              spec.seed, kStreamTlbL1);
-            config.tlb.l2s.seed = hashCombine(config.tlb.l2s.seed,
-                                              spec.seed, kStreamTlbL2);
-            attack.seed =
-                hashCombine(attack.seed, spec.seed, kStreamAttack);
+        std::unique_ptr<Machine> forked;
+        if (snapshot) {
+            pth_assert(snapshot->machine().config() == derived.config,
+                       "snapshot built from a different machine"
+                       " configuration than the spec derives");
+            forked = snapshot->instantiate();
+        } else {
+            forked = std::make_unique<Machine>(derived.config);
         }
-        if (spec.tweakMachine)
-            spec.tweakMachine(config);
-
-        Machine machine(config);
-        res.machine = config.name;
+        Machine &machine = *forked;
+        res.machine = derived.config.name;
 
         if (spec.body) {
             spec.body(machine, attack, res);
@@ -244,12 +295,112 @@ Campaign::runOne(const RunSpec &spec, std::size_t index)
     return res;
 }
 
+std::vector<int>
+Campaign::sharePlan(bool reuseMachines,
+                    std::vector<MachineConfig> *configsOut) const
+{
+    const std::size_t n = specs_.size();
+    std::vector<int> groups(n, -1);
+    if (!reuseMachines) {
+        if (configsOut)
+            configsOut->clear();
+        return groups;
+    }
+
+    // A derivation that throws (a bad tweakMachine hook) must not
+    // abort the plan: the spec just cold-constructs, and runOne
+    // surfaces the error in that run's result as always.
+    std::vector<MachineConfig> configs(n);
+    std::vector<char> derivable(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        try {
+            configs[i] = deriveRun(specs_[i]).config;
+            derivable[i] = 1;
+        } catch (...) {
+        }
+    }
+
+    // Union by config equality: owner[i] is the first index with run
+    // i's config. Quadratic in distinct configs, fine at sweep sizes.
+    std::vector<std::size_t> owner(n);
+    std::vector<std::size_t> members(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        owner[i] = i;
+        if (derivable[i]) {
+            for (std::size_t j = 0; j < i; ++j) {
+                if (owner[j] == j && derivable[j] &&
+                    configs[j] == configs[i]) {
+                    owner[i] = j;
+                    break;
+                }
+            }
+        }
+        ++members[owner[i]];
+    }
+
+    // A group of one cold-constructs: forking a machine used once is
+    // a deep copy with nothing to amortize it over.
+    std::vector<int> ids(n, -1);
+    int next = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (owner[i] == i && members[i] >= 2)
+            ids[i] = next++;
+    for (std::size_t i = 0; i < n; ++i)
+        groups[i] = ids[owner[i]];
+
+    if (configsOut)
+        *configsOut = std::move(configs);
+    return groups;
+}
+
+std::vector<std::uint64_t>
+Campaign::specKeys(const CampaignOptions &options) const
+{
+    const std::vector<int> groups = sharePlan(options.reuseMachines);
+    std::vector<std::uint64_t> keys(specs_.size());
+    for (std::size_t i = 0; i < specs_.size(); ++i)
+        keys[i] = specKey(specs_[i], /*sharedMachine=*/groups[i] >= 0);
+    return keys;
+}
+
 std::vector<RunResult>
 Campaign::run(const CampaignOptions &options) const
 {
     const std::size_t n = specs_.size();
     std::vector<RunResult> results(n);
     std::vector<char> cached(n, 0);
+
+    // Snapshot sharing: runs resolving to the same MachineConfig fork
+    // one warm machine, built by whichever run of the group executes
+    // first (call_once also serializes racing pool workers).
+    std::vector<MachineConfig> derivedConfigs;
+    const std::vector<int> groups =
+        sharePlan(options.reuseMachines, &derivedConfigs);
+    struct SnapshotSlot
+    {
+        std::once_flag once;
+        std::unique_ptr<MachineSnapshot> snap;
+    };
+    int nGroups = 0;
+    for (int g : groups)
+        nGroups = std::max(nGroups, g + 1);
+    std::vector<std::unique_ptr<SnapshotSlot>> slots;
+    slots.reserve(static_cast<std::size_t>(nGroups));
+    for (int g = 0; g < nGroups; ++g)
+        slots.push_back(std::make_unique<SnapshotSlot>());
+    auto snapshotFor = [&groups, &slots,
+                        &derivedConfigs](std::size_t i)
+        -> const MachineSnapshot * {
+        const int group = groups[i];
+        if (group < 0)
+            return nullptr;
+        SnapshotSlot &slot = *slots[static_cast<std::size_t>(group)];
+        std::call_once(slot.once, [&] {
+            slot.snap = std::make_unique<MachineSnapshot>(
+                std::make_unique<Machine>(derivedConfigs[i]));
+        });
+        return slot.snap.get();
+    };
 
     // Shard slicing: this process owns only its residue class; other
     // runs are journal-served or marked "not executed".
@@ -269,7 +420,8 @@ Campaign::run(const CampaignOptions &options) const
     if (!options.journalPath.empty()) {
         keys.resize(n);
         for (std::size_t i = 0; i < n; ++i)
-            keys[i] = specKey(specs_[i]);
+            keys[i] = specKey(specs_[i],
+                              /*sharedMachine=*/groups[i] >= 0);
         if (options.resume) {
             std::size_t corrupt = 0;
             auto done = ResultStore::load(options.journalPath,
@@ -308,8 +460,9 @@ Campaign::run(const CampaignOptions &options) const
 
     // Workers journal their own results the moment a run finishes,
     // so the checkpoint granularity is one run even under a pool.
-    auto executeOne = [this, &store, &keys](std::size_t i) {
-        RunResult result = runOne(specs_[i], i);
+    auto executeOne = [this, &store, &keys,
+                       &snapshotFor](std::size_t i) {
+        RunResult result = runOne(specs_[i], i, snapshotFor(i));
         if (store)
             store->record(result, keys[i]);
         return result;

@@ -38,10 +38,23 @@ namespace pth
 {
 
 class Machine;
+class MachineSnapshot;
 class Table;
 
 /** The three Table-I laptops plus the scaled-down test machine. */
 enum class MachinePreset { LenovoT420, LenovoX230, DellE6420, TestSmall };
+
+/**
+ * Which stochastic streams a nonzero RunSpec::seed re-keys.
+ *
+ * AllStreams (default) re-keys the machine-side streams (weak-cell
+ * placement, kernel boot noise, TLB replacement) and the attacker RNG,
+ * so every run of a sweep boots a different world. AttackOnly re-keys
+ * the attacker RNG alone: every run of the sweep derives the same
+ * MachineConfig, which is what lets the campaign construct one warm
+ * machine and fork it per run (CampaignOptions::reuseMachines).
+ */
+enum class SeedScope { AllStreams, AttackOnly };
 
 /** Which hammering front end a run drives. */
 enum class HammerStrategy
@@ -101,13 +114,25 @@ struct RunSpec
      */
     std::uint64_t seed = 0;
 
+    /**
+     * Which streams the seed re-keys (see SeedScope). Folded into the
+     * journal spec key only when non-default, so journals written
+     * before attack-scoped sweeps existed stay valid.
+     */
+    SeedScope seedScope = SeedScope::AllStreams;
+
     AttackConfig attack;               //!< attacker-side knobs
 
     /** Explicit strategy only: NOPs per iteration and buffer size. */
     unsigned nopPadding = 0;
     std::uint64_t explicitBufferBytes = 64ull << 20;
 
-    /** Optional last-word hook over the machine configuration. */
+    /**
+     * Optional last-word hook over the machine configuration. May be
+     * invoked more than once per run — config derivation is repeated
+     * for snapshot-sharing detection — so it must be deterministic
+     * and side-effect-free.
+     */
     std::function<void(MachineConfig &)> tweakMachine;
 
     /**
@@ -179,6 +204,21 @@ struct CampaignOptions
      */
     unsigned shardIndex = 0;
     unsigned shardCount = 1;
+
+    /**
+     * Machine snapshot/fork: runs that resolve to the same derived
+     * MachineConfig share one warm machine, built lazily by the first
+     * such run to execute and forked (deep-copied) by every run of
+     * the group — instead of each run replaying boot. The fork is
+     * byte-identical to cold construction (the Machine copy
+     * contract), so reports do not change; only setup cost does.
+     * Sharing needs a group of at least two runs, and eligibility is
+     * a pure function of the spec list, so shard workers and their
+     * parent always agree on it (it is folded into the journal spec
+     * keys — see Campaign::specKeys). Disable to force cold
+     * construction for every run (bench_cli: --cold-machines).
+     */
+    bool reuseMachines = true;
 };
 
 /** A set of runs executed together. */
@@ -198,6 +238,16 @@ class Campaign
     void addSeedSweep(const RunSpec &base, std::uint64_t seedBase,
                       unsigned count);
 
+    /**
+     * addSeedSweep scoped to the attacker streams only
+     * (SeedScope::AttackOnly): the machine replays identically across
+     * the sweep, so with CampaignOptions::reuseMachines the campaign
+     * constructs it once and forks it per run. Use when the sweep
+     * varies the attacker, not the hardware sample.
+     */
+    void addAttackSeedSweep(const RunSpec &base, std::uint64_t seedBase,
+                            unsigned count);
+
     /** Number of runs queued. */
     std::size_t size() const { return specs_.size(); }
 
@@ -213,8 +263,24 @@ class Campaign
      */
     std::vector<RunResult> run(const CampaignOptions &options = {}) const;
 
-    /** Execute a single spec (what each worker does). */
-    static RunResult runOne(const RunSpec &spec, std::size_t index);
+    /**
+     * The journal spec keys run() records under the given options —
+     * including the snapshot-sharing bit when a run forks a shared
+     * machine. Multi-process drivers that validate a merged journal
+     * against the spec list must use these keys, not raw
+     * specKey(spec), or shared-machine entries would look stale.
+     */
+    std::vector<std::uint64_t>
+    specKeys(const CampaignOptions &options = {}) const;
+
+    /**
+     * Execute a single spec (what each worker does). With a non-null
+     * snapshot the run's machine is forked from it instead of
+     * cold-constructed; the snapshot must have been built from the
+     * spec's own derived MachineConfig (asserted).
+     */
+    static RunResult runOne(const RunSpec &spec, std::size_t index,
+                            const MachineSnapshot *snapshot = nullptr);
 
     /** Fold results (in index order) into the aggregate. */
     static CampaignAggregate aggregate(
@@ -230,6 +296,17 @@ class Campaign
     static Table summaryTable(const std::vector<RunResult> &results);
 
   private:
+    /**
+     * Snapshot-sharing plan: groups[i] is the sharing-group id of run
+     * i, or -1 when it cold-constructs (group of one, or sharing
+     * disabled). A pure function of the spec list, so every process
+     * of a sharded campaign computes the same plan. When configsOut
+     * is non-null it receives each run's derived MachineConfig.
+     */
+    std::vector<int> sharePlan(
+        bool reuseMachines,
+        std::vector<MachineConfig> *configsOut = nullptr) const;
+
     std::vector<RunSpec> specs_;
 };
 

@@ -181,6 +181,20 @@ specKey(const RunSpec &spec)
     // --pool-threads change.
     h = hashCombine(h,
                     static_cast<std::uint64_t>(a.poolBuild.algorithm));
+    // Keyed only when non-default, like dramModel: attack-scoped
+    // seeding changes what a nonzero seed means for the run.
+    if (spec.seedScope != SeedScope::AllStreams)
+        h = hashCombine(h, 0x5eed5c,
+                        static_cast<std::uint64_t>(spec.seedScope));
+    return h;
+}
+
+std::uint64_t
+specKey(const RunSpec &spec, bool sharedMachine)
+{
+    std::uint64_t h = specKey(spec);
+    if (sharedMachine)
+        h = hashCombine(h, 0x54a9ed);
     return h;
 }
 

@@ -52,6 +52,18 @@ struct RunSpec;
  */
 std::uint64_t specKey(const RunSpec &spec);
 
+/**
+ * specKey with the campaign's snapshot-sharing decision folded in:
+ * sharedMachine is true when the run forks a shared warm machine
+ * instead of cold-constructing (Campaign::sharePlan). Folded only
+ * when set, so existing journals (all cold runs) stay valid, while a
+ * result produced under one execution mode never satisfies a resume
+ * under the other — the byte-identity contract makes the results
+ * equal, but the key keeps the provenance honest and lets the
+ * contract's own tests compare the two modes through journals.
+ */
+std::uint64_t specKey(const RunSpec &spec, bool sharedMachine);
+
 /** Append-only JSONL journal of completed campaign runs. */
 class ResultStore
 {

@@ -1,0 +1,52 @@
+#include "harness/scratch_dir.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+namespace pth
+{
+
+ScratchDirGuard
+ScratchDirGuard::create(const std::string &pattern)
+{
+    // mkdtemp edits its argument in place.
+    std::vector<char> buf(pattern.begin(), pattern.end());
+    buf.push_back('\0');
+    if (!::mkdtemp(buf.data()))
+        throw std::runtime_error("cannot create scratch directory: " +
+                                 pattern);
+    ScratchDirGuard guard;
+    guard.dir = buf.data();
+    return guard;
+}
+
+void
+ScratchDirGuard::removeNow()
+{
+    if (dir.empty())
+        return;
+    // Delete the files first — rmdir refuses non-empty directories,
+    // which is exactly how stale worker journals and logs used to pin
+    // the whole directory in /tmp. Best-effort: no subdirectories are
+    // ever created here, and a failure only leaves the directory for
+    // manual inspection.
+    if (DIR *d = ::opendir(dir.c_str())) {
+        while (const dirent *entry = ::readdir(d)) {
+            if (!std::strcmp(entry->d_name, ".") ||
+                !std::strcmp(entry->d_name, ".."))
+                continue;
+            std::remove((dir + "/" + entry->d_name).c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir(dir.c_str());
+    dir.clear();
+}
+
+} // namespace pth

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * RAII ownership of a scratch directory. The --workers scratch
+ * directory used to be removed only on the all-success path, so any
+ * failure — a dead worker, a merge error, an exception — leaked
+ * /tmp/pth_workersXXXXXX with every per-worker journal and log in it.
+ * The guard deletes the directory's regular files and then the
+ * directory itself whenever it dies still armed (rmdir alone fails on
+ * non-empty directories); keep() is the explicit opt-out for the
+ * "artifacts kept for inspection" path.
+ */
+
+#ifndef PTH_HARNESS_SCRATCH_DIR_HH
+#define PTH_HARNESS_SCRATCH_DIR_HH
+
+#include <string>
+
+namespace pth
+{
+
+/** Owns a scratch directory; removes it (contents first) on death. */
+class ScratchDirGuard
+{
+  public:
+    /** An empty, disarmed guard (no directory). */
+    ScratchDirGuard() = default;
+
+    /**
+     * Create a fresh directory from a mkdtemp pattern (trailing
+     * "XXXXXX") and own it.
+     * @throws std::runtime_error when the directory cannot be made.
+     */
+    static ScratchDirGuard create(const std::string &pattern);
+
+    ~ScratchDirGuard() { removeNow(); }
+
+    ScratchDirGuard(ScratchDirGuard &&other) noexcept
+        : dir(std::move(other.dir))
+    {
+        other.dir.clear();
+    }
+
+    ScratchDirGuard &operator=(ScratchDirGuard &&other) noexcept
+    {
+        if (this != &other) {
+            removeNow();
+            dir = std::move(other.dir);
+            other.dir.clear();
+        }
+        return *this;
+    }
+
+    ScratchDirGuard(const ScratchDirGuard &) = delete;
+    ScratchDirGuard &operator=(const ScratchDirGuard &) = delete;
+
+    /** The owned directory; empty when disarmed. */
+    const std::string &path() const { return dir; }
+
+    /** Whether the guard still owns a directory. */
+    bool active() const { return !dir.empty(); }
+
+    /** Disarm: leave the directory (and its files) on disk. */
+    void keep() { dir.clear(); }
+
+    /** Best-effort removal right now (also disarms). */
+    void removeNow();
+
+  private:
+    std::string dir;
+};
+
+} // namespace pth
+
+#endif // PTH_HARNESS_SCRATCH_DIR_HH

@@ -1,0 +1,18 @@
+#include "harness/self_exe.hh"
+
+#include <unistd.h>
+
+namespace pth
+{
+
+std::string
+resolveSelfExe(const std::string &argv0)
+{
+    char self[4096];
+    const ssize_t len = ::readlink("/proc/self/exe", self, sizeof(self));
+    if (len <= 0 || static_cast<std::size_t>(len) >= sizeof(self))
+        return argv0;
+    return std::string(self, static_cast<std::size_t>(len));
+}
+
+} // namespace pth

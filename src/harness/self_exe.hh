@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Path of the running executable, for re-spawning it (--workers).
+ */
+
+#ifndef PTH_HARNESS_SELF_EXE_HH
+#define PTH_HARNESS_SELF_EXE_HH
+
+#include <string>
+
+namespace pth
+{
+
+/**
+ * Absolute path of this binary from /proc/self/exe, falling back to
+ * argv0 when the link cannot be read — or when the result fills the
+ * buffer completely. readlink truncates silently, so a full buffer
+ * means "possibly longer than the buffer", not "fit exactly"; the old
+ * inline version treated that as success and could hand execv a
+ * truncated path.
+ */
+std::string resolveSelfExe(const std::string &argv0);
+
+} // namespace pth
+
+#endif // PTH_HARNESS_SELF_EXE_HH

@@ -51,6 +51,19 @@ class CursorAllocator
         cursor = descending ? hi : lo;
     }
 
+    /**
+     * Copy the allocator's position (cursor, recycled list) but swap
+     * in a fresh predicate — the old one captures its owning defense,
+     * which a clone must not keep pointing at.
+     */
+    CursorAllocator(const CursorAllocator &other,
+                    std::function<bool(PhysFrame)> predicate)
+        : lo(other.lo), hi(other.hi), cursor(other.cursor),
+          descending(other.descending), pred(std::move(predicate)),
+          recycled(other.recycled)
+    {
+    }
+
     PhysFrame
     alloc()
     {
@@ -132,7 +145,15 @@ class NoDefense : public Defense
         return pool.totalFrames();
     }
 
+    std::unique_ptr<Defense>
+    clone(const AddressMapping &, const VulnerabilityModel &) const override
+    {
+        return std::unique_ptr<Defense>(new NoDefense(*this));
+    }
+
   private:
+    NoDefense(const NoDefense &) = default;
+
     BuddyAllocator pool;
 };
 
@@ -202,7 +223,21 @@ class CattDefense : public Defense
                                                : kernelPool->totalFrames();
     }
 
+    std::unique_ptr<Defense>
+    clone(const AddressMapping &, const VulnerabilityModel &) const override
+    {
+        return std::unique_ptr<Defense>(new CattDefense(*this));
+    }
+
   private:
+    CattDefense(const CattDefense &other)
+        : kernelEnd(other.kernelEnd), userStart(other.userStart),
+          warnedFallback(other.warnedFallback),
+          kernelPool(std::make_unique<BuddyAllocator>(*other.kernelPool)),
+          userPool(std::make_unique<BuddyAllocator>(*other.userPool))
+    {
+    }
+
     PhysFrame kernelEnd;
     PhysFrame userStart;
     bool warnedFallback = false;
@@ -298,7 +333,27 @@ class RipRhDefense : public Defense
         return zoneFramesImpl(intent);
     }
 
+    std::unique_ptr<Defense>
+    clone(const AddressMapping &mapping,
+          const VulnerabilityModel &) const override
+    {
+        return std::unique_ptr<Defense>(new RipRhDefense(*this, mapping));
+    }
+
   private:
+    RipRhDefense(const RipRhDefense &other, const AddressMapping &mapping)
+        : map(mapping), kernelEnd(other.kernelEnd),
+          userStart(other.userStart), partitions_n(other.partitions_n),
+          userFramesPerPartition(other.userFramesPerPartition),
+          guardFrames(other.guardFrames),
+          kernelPool(std::make_unique<BuddyAllocator>(*other.kernelPool))
+    {
+        for (const auto &item : other.partitions)
+            partitions.emplace(
+                item.first,
+                std::make_unique<BuddyAllocator>(*item.second));
+    }
+
     const AddressMapping &map;
     PhysFrame kernelEnd;
     PhysFrame userStart;
@@ -372,7 +427,25 @@ class CtaDefense : public Defense
         return mainPool->totalFrames();
     }
 
+    std::unique_ptr<Defense>
+    clone(const AddressMapping &mapping,
+          const VulnerabilityModel &vulnerability) const override
+    {
+        return std::unique_ptr<Defense>(
+            new CtaDefense(*this, mapping, vulnerability));
+    }
+
   private:
+    CtaDefense(const CtaDefense &other, const AddressMapping &mapping,
+               const VulnerabilityModel &vulnerability)
+        : map(mapping), vuln(vulnerability), ptZoneStart(other.ptZoneStart),
+          ptPool(std::make_unique<CursorAllocator>(
+              *other.ptPool,
+              [this](PhysFrame f) { return rowIsTrueCellOnly(f); })),
+          mainPool(std::make_unique<BuddyAllocator>(*other.mainPool))
+    {
+    }
+
     bool
     rowIsTrueCellOnly(PhysFrame frame) const
     {
@@ -425,7 +498,21 @@ class ZebRamDefense : public Defense
         return total / 2;
     }
 
+    std::unique_ptr<Defense>
+    clone(const AddressMapping &mapping,
+          const VulnerabilityModel &) const override
+    {
+        return std::unique_ptr<Defense>(new ZebRamDefense(*this, mapping));
+    }
+
   private:
+    ZebRamDefense(const ZebRamDefense &other, const AddressMapping &mapping)
+        : map(mapping), total(other.total),
+          pool(std::make_unique<CursorAllocator>(
+              *other.pool, [this](PhysFrame f) { return rowIsEven(f); }))
+    {
+    }
+
     bool
     rowIsEven(PhysFrame frame) const
     {

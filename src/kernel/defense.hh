@@ -88,6 +88,17 @@ class Defense
      */
     virtual std::uint64_t zoneFrames(AllocIntent intent) const = 0;
 
+    /**
+     * Deep copy for Machine snapshot/fork: allocator pools, cursors,
+     * recycled-frame lists, and fallback flags all carry over so the
+     * clone hands out the same frames in the same order. The clone is
+     * rewired to the *new* machine's mapping/vulnerability (same
+     * values, different objects).
+     */
+    virtual std::unique_ptr<Defense> clone(
+        const AddressMapping &mapping,
+        const VulnerabilityModel &vulnerability) const = 0;
+
     /** Factory wiring a policy to the machine's DRAM layout. */
     static std::unique_ptr<Defense> create(
         DefenseKind kind, const AddressMapping &mapping,

@@ -42,6 +42,28 @@ Kernel::Kernel(const KernelConfig &config, PhysicalMemory &memory,
     applyBootNoise(memory.frames());
 }
 
+Kernel::Kernel(const Kernel &other, PhysicalMemory &memory,
+               const AddressMapping &mapping,
+               const VulnerabilityModel &vulnerability, Clock &clock)
+    : cfg(other.cfg), mem(memory), map(mapping), clk(clock),
+      policy(other.policy->clone(mapping, vulnerability)), rng(other.rng),
+      nextPid(other.nextPid), l1ptFrames(other.l1ptFrames),
+      credFrames(other.credFrames), credPage(other.credPage),
+      credSlot(other.credSlot),
+      burnedKernelFrames(other.burnedKernelFrames)
+{
+    for (const auto &item : other.processes) {
+        const Process &src = *item.second;
+        auto proc = std::make_unique<Process>(src.pid_v, src.uid_v);
+        proc->credAddr = src.credAddr;
+        proc->userFrames = src.userFrames;
+        if (src.tables)
+            proc->tables = std::make_unique<PageTables>(
+                *src.tables, memory, frameSourceFor(src.pid_v));
+        processes.emplace(item.first, std::move(proc));
+    }
+}
+
 void
 Kernel::applyBootNoise(std::uint64_t totalFrames)
 {
@@ -235,6 +257,30 @@ Kernel::allocUserFrame(Process &proc)
     PhysFrame f = allocFrame(AllocIntent::UserData, proc.pid());
     proc.userFrames.push_back(f);
     return f;
+}
+
+std::uint64_t
+Kernel::stateHash() const
+{
+    std::uint64_t h = hashCombine(0x6e1, nextPid, credPage);
+    h = hashCombine(h, credSlot, burnedKernelFrames.size());
+    // Commutative combines for the unordered containers.
+    std::uint64_t frameSets = 0;
+    for (const auto &item : l1ptFrames)
+        frameSets += mix64(item.first);
+    for (const auto &item : credFrames)
+        frameSets += mix64(~item.first);
+    h = hashCombine(h, frameSets);
+    std::uint64_t procs = 0;
+    for (const auto &item : processes) {
+        const Process &proc = *item.second;
+        std::uint64_t p = hashCombine(proc.pid_v, proc.uid_v,
+                                      proc.credAddr);
+        p = hashCombine(p, proc.userFrames.size(),
+                        proc.tables ? proc.tables->root() + 1 : 0);
+        procs += mix64(p);
+    }
+    return hashCombine(h, procs);
 }
 
 } // namespace pth

@@ -62,6 +62,26 @@ struct KernelConfig
     unsigned processKernelFootprintFrames = 6;
 };
 
+/** Field-wise equality (campaign snapshot-sharing detection). */
+inline bool
+operator==(const KernelConfig &a, const KernelConfig &b)
+{
+    return a.syscallCycles == b.syscallCycles &&
+           a.pageFaultCycles == b.pageFaultCycles &&
+           a.ptPageAllocCycles == b.ptPageAllocCycles &&
+           a.bootNoiseFraction == b.bootNoiseFraction &&
+           a.seed == b.seed && a.credMagic == b.credMagic &&
+           a.credSlotsPerPage == b.credSlotsPerPage &&
+           a.processKernelFootprintFrames ==
+               b.processKernelFootprintFrames;
+}
+
+inline bool
+operator!=(const KernelConfig &a, const KernelConfig &b)
+{
+    return !(a == b);
+}
+
 /** Magic value marking struct cred slots in kernel pages. */
 struct Cred
 {
@@ -102,6 +122,18 @@ class Kernel
            const AddressMapping &mapping,
            const VulnerabilityModel &vulnerability, Clock &clock,
            DefenseKind defense);
+
+    /**
+     * Deep copy rewired to the new machine's devices (Machine
+     * snapshot/fork). Boot noise is NOT replayed — the defense policy
+     * (including allocator cursors), RNG, process table, and all
+     * bookkeeping carry over, and each cloned process's page tables
+     * are rebuilt around this kernel's frame source so future
+     * page-table pages charge and register here, not in the original.
+     */
+    Kernel(const Kernel &other, PhysicalMemory &memory,
+           const AddressMapping &mapping,
+           const VulnerabilityModel &vulnerability, Clock &clock);
 
     /**
      * Create a process.
@@ -168,6 +200,10 @@ class Kernel
 
     /** Configuration in force. */
     const KernelConfig &config() const { return cfg; }
+
+    /** Digest of kernel bookkeeping — pids, cred slab cursor, L1PT and
+     * cred frame sets, per-process state (snapshot audits). */
+    std::uint64_t stateHash() const;
 
   private:
     /** Defense-routed frame allocation; fatal when exhausted. */

@@ -3,9 +3,30 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 
 namespace pth
 {
+
+PhysPage::PhysPage(const PhysPage &other) : pattern(other.pattern)
+{
+    if (other.dense)
+        dense = std::make_unique<std::array<std::uint8_t, kPageBytes>>(
+            *other.dense);
+}
+
+PhysPage &
+PhysPage::operator=(const PhysPage &other)
+{
+    if (this == &other)
+        return *this;
+    pattern = other.pattern;
+    dense = other.dense
+                ? std::make_unique<std::array<std::uint8_t, kPageBytes>>(
+                      *other.dense)
+                : nullptr;
+    return *this;
+}
 
 PhysPage::Kind
 PhysPage::kind() const
@@ -90,6 +111,19 @@ PhysPage::isZero() const
         if (b)
             return false;
     return true;
+}
+
+std::uint64_t
+PhysPage::contentHash() const
+{
+    // Hash the content, not the representation: a Pattern page and the
+    // dense page holding the same bytes hash identically, so equality
+    // means "the machine would read the same values", which is the
+    // snapshot byte-identity contract.
+    std::uint64_t h = 0x70a6e;
+    for (std::uint64_t off = 0; off < kPageBytes; off += 8)
+        h = hashCombine(h, read64(off));
+    return h;
 }
 
 void

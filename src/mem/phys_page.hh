@@ -31,6 +31,14 @@ class PhysPage
     /** Create an all-zero page. */
     PhysPage() = default;
 
+    /** Deep copy, preserving the representation (a densified page
+     * stays dense so a snapshot clone replays byte-identically). */
+    PhysPage(const PhysPage &other);
+    PhysPage &operator=(const PhysPage &other);
+
+    PhysPage(PhysPage &&) = default;
+    PhysPage &operator=(PhysPage &&) = default;
+
     /** Current representation (observable for tests / memory audits). */
     Kind kind() const;
 
@@ -63,6 +71,9 @@ class PhysPage
 
     /** True when every byte is zero. */
     bool isZero() const;
+
+    /** Representation-independent content hash (snapshot audits). */
+    std::uint64_t contentHash() const;
 
   private:
     /** Convert to the dense representation. */

@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 
 namespace pth
 {
@@ -68,6 +69,21 @@ bool
 PhysicalMemory::isMaterialized(PhysFrame frame) const
 {
     return pages.find(frame) != pages.end();
+}
+
+std::uint64_t
+PhysicalMemory::contentHash() const
+{
+    // Commutative combine (sum of per-page mixes) so the hash does not
+    // depend on the unordered_map's iteration order, which differs
+    // between an original and its copy. An all-zero materialized page
+    // hashes like its own content, not like absence — kind() changes
+    // are invisible, presence changes are not behaviourally observable
+    // anyway (unmaterialized pages read as zero).
+    std::uint64_t h = 0;
+    for (const auto &item : pages)
+        h += mix64(item.first ^ item.second.contentHash());
+    return h;
 }
 
 PhysPage &

@@ -62,6 +62,14 @@ class PhysicalMemory
     /** True when the frame has been materialized. */
     bool isMaterialized(PhysFrame frame) const;
 
+    /**
+     * Order-independent hash over every materialized page's content
+     * (snapshot audits; see Machine::stateFingerprint). Two memories
+     * whose reads can never differ hash equally, regardless of page
+     * representation or map iteration order.
+     */
+    std::uint64_t contentHash() const;
+
   private:
     PhysPage &pageFor(PhysFrame frame);
     const PhysPage *pageIfPresent(PhysFrame frame) const;

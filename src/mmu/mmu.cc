@@ -2,6 +2,7 @@
 
 #include "cache/cache_hierarchy.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "mem/physical_memory.hh"
 
 namespace pth
@@ -10,6 +11,13 @@ namespace pth
 Mmu::Mmu(const TlbConfig &tlbConfig, const PscConfig &pscConfig,
          PhysicalMemory &memory, CacheHierarchy &caches)
     : tlbs(tlbConfig), pscs(pscConfig), ptWalker(memory, caches, pscs)
+{
+}
+
+Mmu::Mmu(const Mmu &other, PhysicalMemory &memory, CacheHierarchy &caches)
+    : tlbs(other.tlbs), pscs(other.pscs),
+      ptWalker(other.ptWalker, memory, caches, pscs), pmc(other.pmc),
+      cr3(other.cr3)
 {
 }
 
@@ -84,6 +92,16 @@ Mmu::translate(VirtAddr va, Cycles now)
         result.pa = (walk.frame << kPageShift) | (va & (kPageBytes - 1));
     }
     return result;
+}
+
+std::uint64_t
+Mmu::stateHash() const
+{
+    std::uint64_t h = hashCombine(cr3, tlbs.stateHash());
+    h = hashCombine(h, pscs.stateHash());
+    h = hashCombine(h, ptWalker.walks(), ptWalker.pdeCacheStarts());
+    h = hashCombine(h, pmc.dtlbLoadMissesWalk, pmc.llcMiss);
+    return hashCombine(h, pmc.pageWalks, pmc.tlbLookups);
 }
 
 } // namespace pth

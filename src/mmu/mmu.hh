@@ -43,6 +43,11 @@ class Mmu
     Mmu(const TlbConfig &tlbConfig, const PscConfig &pscConfig,
         PhysicalMemory &memory, CacheHierarchy &caches);
 
+    /** Deep copy rewired to the new machine's memory and caches
+     * (Machine snapshot/fork): TLBs, PSCs, walker counters, perf
+     * counters and CR3 all carry over. */
+    Mmu(const Mmu &other, PhysicalMemory &memory, CacheHierarchy &caches);
+
     /** Install a new address space root (CR3 write: flushes TLB+PSC). */
     void setRoot(PhysFrame root);
 
@@ -63,6 +68,10 @@ class Mmu
     PagingStructureCaches &pagingCaches() { return pscs; }
     PageTableWalker &walker() { return ptWalker; }
     const PerfCounters &counters() const { return pmc; }
+
+    /** Digest of TLBs, PSCs, walker and perf counters, and CR3
+     * (snapshot audits). */
+    std::uint64_t stateHash() const;
 
   private:
     TwoLevelTlb tlbs;

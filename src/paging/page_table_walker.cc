@@ -14,6 +14,15 @@ PageTableWalker::PageTableWalker(PhysicalMemory &memory,
 {
 }
 
+PageTableWalker::PageTableWalker(const PageTableWalker &other,
+                                 PhysicalMemory &memory,
+                                 CacheHierarchy &caches_,
+                                 PagingStructureCaches &pscs)
+    : mem(memory), caches(caches_), psc(pscs), nWalks(other.nWalks),
+      nPdeStarts(other.nPdeStarts)
+{
+}
+
 WalkResult
 PageTableWalker::walk(PhysFrame root, VirtAddr va, Cycles now)
 {

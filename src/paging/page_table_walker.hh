@@ -43,6 +43,11 @@ class PageTableWalker
     PageTableWalker(PhysicalMemory &memory, CacheHierarchy &caches,
                     PagingStructureCaches &pscs);
 
+    /** Copy the walk counters but rewire the structure references to
+     * the new machine's copies (Machine snapshot/fork support). */
+    PageTableWalker(const PageTableWalker &other, PhysicalMemory &memory,
+                    CacheHierarchy &caches, PagingStructureCaches &pscs);
+
     /**
      * Walk the tables rooted at root for va at simulated time now.
      * Fills the paging-structure caches with the partial translations

@@ -14,6 +14,13 @@ PageTables::PageTables(PhysicalMemory &memory, FrameSource allocator)
     mem.fillFramePattern(rootFrame, 0);
 }
 
+PageTables::PageTables(const PageTables &other, PhysicalMemory &memory,
+                       FrameSource allocator)
+    : mem(memory), alloc(std::move(allocator)), rootFrame(other.rootFrame),
+      frames(other.frames)
+{
+}
+
 std::uint64_t
 PageTables::readEntry(PhysFrame table, VirtAddr va, PtLevel level) const
 {

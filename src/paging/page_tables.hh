@@ -41,6 +41,15 @@ class PageTables
 
     PageTables(PhysicalMemory &memory, FrameSource allocator);
 
+    /**
+     * Copy rewired to a new backing store and allocator (Machine
+     * snapshot/fork): adopts the original's root and table-frame list
+     * without allocating — the table *contents* live in the physical
+     * memory, which the machine clone copies wholesale.
+     */
+    PageTables(const PageTables &other, PhysicalMemory &memory,
+               FrameSource allocator);
+
     /** CR3: frame of the PML4 table. */
     PhysFrame root() const { return rootFrame; }
 

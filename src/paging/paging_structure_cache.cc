@@ -1,5 +1,7 @@
 #include "paging/paging_structure_cache.hh"
 
+#include "common/random.hh"
+
 #include "common/logging.hh"
 
 namespace pth
@@ -121,6 +123,24 @@ PagingStructureCaches::flushAll()
     pml4Cache.flushAll();
     pdpteCache.flushAll();
     pdeCache.flushAll();
+}
+
+std::uint64_t
+PagingStructureCache::stateHash() const
+{
+    std::uint64_t h = hashCombine(0x95c, tick);
+    for (const Slot &slot : slots) {
+        h = hashCombine(h, slot.valid, slot.tag);
+        h = hashCombine(h, slot.frame, slot.stamp);
+    }
+    return h;
+}
+
+std::uint64_t
+PagingStructureCaches::stateHash() const
+{
+    std::uint64_t h = pml4Cache.stateHash();
+    return hashCombine(h, pdpteCache.stateHash(), pdeCache.stateHash());
 }
 
 } // namespace pth

@@ -33,6 +33,20 @@ struct PscConfig
     unsigned pdeEntries = 32;
 };
 
+/** Field-wise equality (campaign snapshot-sharing detection). */
+inline bool
+operator==(const PscConfig &a, const PscConfig &b)
+{
+    return a.pml4Entries == b.pml4Entries &&
+           a.pdpteEntries == b.pdpteEntries && a.pdeEntries == b.pdeEntries;
+}
+
+inline bool
+operator!=(const PscConfig &a, const PscConfig &b)
+{
+    return !(a == b);
+}
+
 /** One fully-associative LRU partial-translation cache. */
 class PagingStructureCache
 {
@@ -53,6 +67,9 @@ class PagingStructureCache
 
     /** Valid entry count. */
     unsigned validEntries() const;
+
+    /** Digest of every slot, LRU stamps included (snapshot audits). */
+    std::uint64_t stateHash() const;
 
   private:
     struct Slot
@@ -83,6 +100,9 @@ class PagingStructureCaches
 
     /** Flush all three (CR3 write). */
     void flushAll();
+
+    /** Digest of all three caches (snapshot audits). */
+    std::uint64_t stateHash() const;
 
   private:
     PagingStructureCache pml4Cache;

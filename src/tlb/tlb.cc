@@ -16,6 +16,22 @@ Tlb::Tlb(const TlbLevelConfig &config)
     pth_assert(isPow2(cfg.sets), "TLB sets must be a power of two");
 }
 
+Tlb::Tlb(const Tlb &other)
+    : cfg(other.cfg), slots(other.slots), policy(other.policy->clone())
+{
+}
+
+std::uint64_t
+Tlb::stateHash() const
+{
+    std::uint64_t h = 0x71b;
+    for (const Slot &slot : slots) {
+        h = hashCombine(h, slot.valid, slot.entry.vpn);
+        h = hashCombine(h, slot.entry.pfn, slot.entry.huge);
+    }
+    return h;
+}
+
 std::uint64_t
 Tlb::setOf(VirtPage vpn) const
 {
@@ -38,9 +54,13 @@ Tlb::slotAt(std::uint64_t set, unsigned way) const
 std::optional<TlbEntry>
 Tlb::lookup(VirtPage vpn, bool huge)
 {
-    std::uint64_t set = setOf(vpn);
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        Slot &slot = slotAt(set, w);
+    // Slot base hoisted out of the way scan (see Cache::access) —
+    // every translate() probes both TLB levels through here.
+    const std::uint64_t set = setOf(vpn);
+    Slot *row = &slots[set * cfg.ways];
+    const unsigned ways = cfg.ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        Slot &slot = row[w];
         if (slot.valid && slot.entry.vpn == vpn &&
             slot.entry.huge == huge) {
             policy->touch(set, w);
@@ -65,12 +85,21 @@ Tlb::contains(VirtPage vpn, bool huge) const
 void
 Tlb::insert(const TlbEntry &entry)
 {
-    std::uint64_t set = setOf(entry.vpn);
+    const std::uint64_t set = setOf(entry.vpn);
+    Slot *row = &slots[set * cfg.ways];
+    const unsigned ways = cfg.ways;
 
-    // Refresh in place when already cached.
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        Slot &slot = slotAt(set, w);
-        if (slot.valid && slot.entry.vpn == entry.vpn &&
+    // One scan finds both an already-cached entry (refresh in place)
+    // and the first free way.
+    unsigned freeWay = ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        Slot &slot = row[w];
+        if (!slot.valid) {
+            if (freeWay == ways)
+                freeWay = w;
+            continue;
+        }
+        if (slot.entry.vpn == entry.vpn &&
             slot.entry.huge == entry.huge) {
             slot.entry = entry;
             policy->touch(set, w);
@@ -78,18 +107,16 @@ Tlb::insert(const TlbEntry &entry)
         }
     }
 
-    for (unsigned w = 0; w < cfg.ways; ++w) {
-        Slot &slot = slotAt(set, w);
-        if (!slot.valid) {
-            slot.valid = true;
-            slot.entry = entry;
-            policy->insert(set, w);
-            return;
-        }
+    if (freeWay != ways) {
+        Slot &slot = row[freeWay];
+        slot.valid = true;
+        slot.entry = entry;
+        policy->insert(set, freeWay);
+        return;
     }
 
     unsigned w = policy->victim(set);
-    Slot &slot = slotAt(set, w);
+    Slot &slot = row[w];
     slot.entry = entry;
     policy->insert(set, w);
 }

@@ -36,6 +36,13 @@ class Tlb
   public:
     explicit Tlb(const TlbLevelConfig &config);
 
+    /** Deep copy including replacement-policy state (Machine
+     * snapshot/fork support; makes TwoLevelTlb copyable). */
+    Tlb(const Tlb &other);
+
+    /** Digest of every slot in index order (snapshot audits). */
+    std::uint64_t stateHash() const;
+
     /**
      * Look up a translation.
      * @param vpn Virtual page number.

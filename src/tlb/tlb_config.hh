@@ -25,6 +25,20 @@ struct TlbLevelConfig
     std::uint64_t seed = 0;   //!< per-machine replacement seed
 };
 
+/** Field-wise equality (campaign snapshot-sharing detection). */
+inline bool
+operator==(const TlbLevelConfig &a, const TlbLevelConfig &b)
+{
+    return a.sets == b.sets && a.ways == b.ways &&
+           a.replacement == b.replacement && a.seed == b.seed;
+}
+
+inline bool
+operator!=(const TlbLevelConfig &a, const TlbLevelConfig &b)
+{
+    return !(a == b);
+}
+
 /** Two-level TLB configuration. */
 struct TlbConfig
 {
@@ -32,6 +46,19 @@ struct TlbConfig
     TlbLevelConfig l2s{128, 4, ReplacementKind::TreePlru};
     Cycles l2HitLatency = 7;   //!< extra cycles for an sTLB hit
 };
+
+inline bool
+operator==(const TlbConfig &a, const TlbConfig &b)
+{
+    return a.l1d == b.l1d && a.l2s == b.l2s &&
+           a.l2HitLatency == b.l2HitLatency;
+}
+
+inline bool
+operator!=(const TlbConfig &a, const TlbConfig &b)
+{
+    return !(a == b);
+}
 
 } // namespace pth
 

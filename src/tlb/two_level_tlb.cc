@@ -1,5 +1,7 @@
 #include "tlb/two_level_tlb.hh"
 
+#include "common/random.hh"
+
 namespace pth
 {
 
@@ -61,6 +63,12 @@ TwoLevelTlb::totalEntries() const
 {
     return l1Tlb.config().sets * l1Tlb.config().ways +
            l2Tlb.config().sets * l2Tlb.config().ways;
+}
+
+std::uint64_t
+TwoLevelTlb::stateHash() const
+{
+    return hashCombine(l1Tlb.stateHash(), l2Tlb.stateHash());
 }
 
 } // namespace pth

@@ -57,6 +57,9 @@ class TwoLevelTlb
     /** Total entries across both levels for 4 KiB pages. */
     std::uint64_t totalEntries() const;
 
+    /** Digest of both levels (snapshot audits). */
+    std::uint64_t stateHash() const;
+
   private:
     Tlb l1Tlb;
     Tlb l2Tlb;

@@ -282,5 +282,39 @@ TEST(BenchSmoke, CampaignTrrModelPath)
     EXPECT_EQ(results[0].flips, 0u);
 }
 
+/**
+ * bench_machine_setup: an attack-scoped seed sweep with a custom body
+ * runs warm-forked by default and reports byte-identically to a
+ * cold-machines rerun (the snapshot contract the bench gates in CI).
+ */
+TEST(BenchSmoke, MachineSetupPath)
+{
+    RunSpec base;
+    base.label = "setup";
+    base.preset = MachinePreset::TestSmall;
+    base.body = [](Machine &machine, const AttackConfig &attack,
+                   RunResult &res) {
+        Process &proc = machine.kernel().createProcess(1000);
+        machine.cpu().setProcess(proc);
+        machine.kernel().mmapAnon(proc, 0x2400'0000, 8 * kPageBytes);
+        machine.cpu().access(0x2400'0000 + (attack.seed % 8) * 64);
+        res.metrics.emplace_back(
+            "state_fp", static_cast<double>(
+                            machine.stateFingerprint() & 0xffffffff));
+    };
+    Campaign campaign;
+    campaign.addAttackSeedSweep(base, /*seedBase=*/100, 3);
+
+    CampaignOptions warm;
+    CampaignOptions cold;
+    cold.reuseMachines = false;
+    std::vector<RunResult> results = campaign.run(warm);
+    ASSERT_EQ(results.size(), 3u);
+    for (const RunResult &r : results)
+        EXPECT_TRUE(r.ok) << r.label << ": " << r.error;
+    EXPECT_EQ(Campaign::toJson(results),
+              Campaign::toJson(campaign.run(cold)));
+}
+
 } // namespace
 } // namespace pth
