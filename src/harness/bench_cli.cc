@@ -306,33 +306,8 @@ BenchCli::runCampaign(const Campaign &campaign)
     // parent journal's entries for its residue class, so a campaign
     // previously completed (or partially completed) single-process —
     // or by an earlier --workers run that merged — is not recomputed.
-    // Idempotent (entries the shard journal already holds under the
-    // same key are not re-appended), and workers still re-validate
-    // every seeded entry by spec key.
-    if (options.resume) {
-        auto prior = ResultStore::load(journal);
-        std::vector<std::unique_ptr<ResultStore>> seeds(workerCount);
-        std::vector<std::map<std::size_t, ResultStore::Entry>>
-            present(workerCount);
-        std::vector<char> presentLoaded(workerCount, 0);
-        for (auto &item : prior) {
-            const unsigned w =
-                static_cast<unsigned>(item.first % workerCount);
-            if (!presentLoaded[w]) {
-                present[w] =
-                    ResultStore::load(runner.shardJournalPath(w));
-                presentLoaded[w] = 1;
-            }
-            auto held = present[w].find(item.first);
-            if (held != present[w].end() &&
-                held->second.key == item.second.key)
-                continue;
-            if (!seeds[w])
-                seeds[w] = std::make_unique<ResultStore>(
-                    runner.shardJournalPath(w), /*truncate=*/false);
-            seeds[w]->record(item.second.result, item.second.key);
-        }
-    }
+    if (options.resume)
+        seedShardJournalsFromParent(journal, journal, workerCount);
 
     workerReports = runner.run();
 

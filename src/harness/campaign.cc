@@ -16,6 +16,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "cpu/machine.hh"
+#include "dram/flip_model.hh"
 #include "harness/result_store.hh"
 #include "harness/thread_pool.hh"
 
@@ -239,6 +240,7 @@ specResultShell(const RunSpec &spec, std::size_t index)
     res.machine = machinePresetName(spec.preset);
     res.defense = defenseKindName(spec.defense);
     res.strategy = hammerStrategyName(spec.strategy);
+    res.dramModel = flipModelKindName(spec.dramModel);
     return res;
 }
 

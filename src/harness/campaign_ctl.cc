@@ -1,0 +1,724 @@
+#include "harness/campaign_ctl.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/table.hh"
+#include "harness/shard_runner.hh"
+
+namespace pth
+{
+
+// ---------------------------------------------------------------- //
+// Manifest                                                         //
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+/** Strict key check: manifests are config, and a typoed key that
+ * silently does nothing is how a 100-shard campaign runs with the
+ * wrong arguments. */
+bool
+checkKeys(const JsonValue &obj,
+          const std::vector<std::string> &allowed,
+          const std::string &where, std::string &error)
+{
+    for (const auto &member : obj.members()) {
+        if (std::find(allowed.begin(), allowed.end(),
+                      member.first) != allowed.end())
+            continue;
+        error = where + ": unknown key \"" + member.first + "\"";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseCampaign(const JsonValue &obj, std::size_t position,
+              ManifestCampaign &out, std::string &error)
+{
+    const std::string where = strfmt("campaign #%zu", position);
+    if (!obj.isObject()) {
+        error = where + ": not an object";
+        return false;
+    }
+    if (!checkKeys(obj,
+                   {"name", "program", "args", "shards", "journal",
+                    "report"},
+                   where, error))
+        return false;
+
+    const JsonValue *name = obj.find("name");
+    if (!name || !name->isString() || name->asString().empty()) {
+        error = where + ": missing or empty \"name\"";
+        return false;
+    }
+    out.name = name->asString();
+    if (out.name.find('/') != std::string::npos ||
+        out.name.find_first_of(" \t\n") != std::string::npos) {
+        // The name labels dispatch-log lines ("name/shard") and
+        // derives artifact paths, so it cannot hold separators.
+        error = where + ": name \"" + out.name +
+                "\" may not contain '/' or whitespace";
+        return false;
+    }
+
+    const JsonValue *program = obj.find("program");
+    if (!program || !program->isString() ||
+        program->asString().empty()) {
+        error = where + " (" + out.name +
+                "): missing or empty \"program\"";
+        return false;
+    }
+    out.program = program->asString();
+
+    if (const JsonValue *args = obj.find("args")) {
+        if (!args->isArray()) {
+            error = where + " (" + out.name +
+                    "): \"args\" is not an array";
+            return false;
+        }
+        for (const JsonValue &arg : args->items()) {
+            if (!arg.isString()) {
+                error = where + " (" + out.name +
+                        "): \"args\" holds a non-string";
+                return false;
+            }
+            out.args.push_back(arg.asString());
+        }
+    }
+
+    if (const JsonValue *shards = obj.find("shards")) {
+        if (!shards->isNumber() || shards->asU64() == 0 ||
+            shards->asDouble() !=
+                static_cast<double>(shards->asU64())) {
+            error = where + " (" + out.name +
+                    "): \"shards\" must be a positive integer";
+            return false;
+        }
+        out.shards = static_cast<unsigned>(shards->asU64());
+    }
+
+    if (const JsonValue *journal = obj.find("journal")) {
+        if (!journal->isString()) {
+            error = where + " (" + out.name +
+                    "): \"journal\" is not a string";
+            return false;
+        }
+        out.journal = journal->asString();
+    }
+    if (const JsonValue *report = obj.find("report")) {
+        if (!report->isString()) {
+            error = where + " (" + out.name +
+                    "): \"report\" is not a string";
+            return false;
+        }
+        out.report = report->asString();
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+Manifest::parse(const std::string &text, Manifest &out,
+                std::string &error)
+{
+    JsonValue doc;
+    if (!JsonValue::parse(text, doc) || !doc.isObject()) {
+        error = "manifest is not a JSON object";
+        return false;
+    }
+    if (!checkKeys(doc, {"campaigns"}, "manifest", error))
+        return false;
+    const JsonValue *campaigns = doc.find("campaigns");
+    if (!campaigns || !campaigns->isArray() ||
+        campaigns->items().empty()) {
+        error = "manifest has no campaigns";
+        return false;
+    }
+
+    Manifest parsed;
+    for (std::size_t i = 0; i < campaigns->items().size(); ++i) {
+        ManifestCampaign campaign;
+        if (!parseCampaign(campaigns->items()[i], i, campaign, error))
+            return false;
+        for (const ManifestCampaign &seen : parsed.campaigns)
+            if (seen.name == campaign.name) {
+                error = "duplicate campaign name \"" + campaign.name +
+                        "\"";
+                return false;
+            }
+        parsed.campaigns.push_back(std::move(campaign));
+    }
+    out = std::move(parsed);
+    return true;
+}
+
+bool
+Manifest::load(const std::string &path, Manifest &out,
+               std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot read " + path;
+        return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (!Manifest::parse(buffer.str(), out, error)) {
+        error = path + ": " + error;
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------- //
+// Orchestrator                                                     //
+// ---------------------------------------------------------------- //
+
+/** One schedulable unit: a shard slice of a campaign, or the render
+ * pass that turns a merged journal into the final report. */
+struct CampaignCtl::Task
+{
+    enum class Kind { Shard, Render };
+
+    /** One subprocess lineage of the task: the primary, or a
+     * speculative backup. Respawns stay within the instance (same
+     * journal, resumed); re-issue adds an instance. */
+    struct Instance
+    {
+        std::string journal;
+        std::string log;
+        unsigned spawns = 0;
+        bool live = false;
+        bool dead = false;       //!< gave up (respawns exhausted)
+        bool superseded = false; //!< killed because a sibling won
+        std::string error;       //!< last death reason
+    };
+
+    Kind kind = Kind::Shard;
+    std::size_t campaign = 0;
+    unsigned shard = 0;
+    std::string label; //!< "name/shard" or "name/render" (logs)
+
+    std::vector<Instance> instances;
+    bool done = false;
+    bool ok = false;
+    std::string winnerJournal;
+};
+
+namespace
+{
+
+/** fork/exec one worker, stdout+stderr captured to logPath
+ * (truncated on an instance's first attempt, appended on respawns so
+ * the log shows every attempt). Returns the pid or -1. */
+long
+spawnWorker(const std::vector<std::string> &args,
+            const std::string &logPath, bool firstAttempt)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        return -1;
+    if (pid > 0)
+        return pid;
+
+    const int fd = ::open(logPath.c_str(),
+                          O_WRONLY | O_CREAT |
+                              (firstAttempt ? O_TRUNC : O_APPEND),
+                          0644);
+    if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO)
+            ::close(fd);
+    }
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string &arg : args)
+        argv.push_back(const_cast<char *>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(args[0].c_str(), argv.data());
+    std::fprintf(stderr, "campaign_ctl: cannot exec %s: %s\n",
+                 args[0].c_str(), std::strerror(errno));
+    ::_exit(127);
+}
+
+/** Copy a journal snapshot for a backup instance. The source may be
+ * mid-append; a torn final line is exactly what ResultStore::load
+ * tolerates, so the backup resumes from the straggler's last complete
+ * checkpoint. A missing source yields an empty (fresh) journal. */
+bool
+copyJournalSnapshot(const std::string &from, const std::string &to)
+{
+    std::ofstream out(to, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    std::ifstream in(from, std::ios::binary);
+    if (in)
+        out << in.rdbuf();
+    return true;
+}
+
+} // namespace
+
+CampaignCtl::CampaignCtl(Manifest manifest, CampaignCtlOptions options)
+    : manifest_(std::move(manifest)), options_(std::move(options))
+{
+}
+
+CampaignCtl::~CampaignCtl() = default;
+
+std::string
+CampaignCtl::journalPath(const ManifestCampaign &campaign) const
+{
+    if (!campaign.journal.empty())
+        return campaign.journal;
+    return options_.outDir + "/" + campaign.name + ".jsonl";
+}
+
+std::string
+CampaignCtl::reportPath(const ManifestCampaign &campaign) const
+{
+    if (!campaign.report.empty())
+        return campaign.report;
+    return options_.outDir + "/" + campaign.name + ".json";
+}
+
+void
+CampaignCtl::logLine(const std::string &line) const
+{
+    if (!options_.log)
+        return;
+    *options_.log << "[ctl] " << line << '\n';
+    options_.log->flush();
+}
+
+bool
+CampaignCtl::startTask(std::size_t taskId)
+{
+    Task &task = tasks_[taskId];
+    const ManifestCampaign &campaign =
+        manifest_.campaigns[task.campaign];
+
+    Task::Instance instance;
+    if (task.kind == Task::Kind::Shard) {
+        instance.journal = ShardRunner::shardJournalPath(
+            journalPath(campaign), task.shard);
+        instance.log = instance.journal + ".log";
+        // A fresh suite must not resume stale shard journals even if
+        // the worker dies before its own --fresh truncation runs.
+        if (options_.fresh)
+            std::remove(instance.journal.c_str());
+    } else {
+        instance.journal = journalPath(campaign);
+        instance.log = instance.journal + ".render.log";
+    }
+    task.instances.push_back(std::move(instance));
+    Task::Instance &primary = task.instances.back();
+
+    std::vector<std::string> args;
+    args.push_back(campaign.program);
+    args.insert(args.end(), campaign.args.begin(),
+                campaign.args.end());
+    if (task.kind == Task::Kind::Shard) {
+        args.push_back(strfmt("--shard=%u/%u", task.shard,
+                              campaign.shards));
+        args.push_back("--journal=" + primary.journal);
+        if (options_.fresh)
+            args.push_back("--fresh");
+    } else {
+        args.push_back("--journal=" + primary.journal);
+        args.push_back("--json=" + reportPath(campaign));
+    }
+    args.push_back("--threads=1");
+
+    const long pid =
+        spawnWorker(args, primary.log, /*firstAttempt=*/true);
+    if (pid < 0) {
+        primary.dead = true;
+        primary.error =
+            strfmt("fork failed: %s", std::strerror(errno));
+        return false;
+    }
+    primary.spawns = 1;
+    primary.live = true;
+    ++outcomes_[task.campaign].spawns;
+    live_.push_back({pid, {taskId, 0}});
+    logLine("spawn " + task.label);
+
+    if (task.kind == Task::Kind::Shard)
+        for (const auto &inject : options_.injectKills)
+            if (inject.first == campaign.name &&
+                inject.second == task.shard) {
+                // Deterministic worker-crash injection: the first
+                // attempt dies before it can finish, the respawn
+                // path has to recover it.
+                ::kill(static_cast<pid_t>(pid), SIGKILL);
+                logLine("inject-kill " + task.label);
+                break;
+            }
+    return true;
+}
+
+bool
+CampaignCtl::reissueStraggler()
+{
+    // Lowest task id first: deterministic given the same set of
+    // stragglers, and the longest-queued shard is the most likely to
+    // actually be stuck.
+    for (std::size_t taskId = 0; taskId < tasks_.size(); ++taskId) {
+        Task &task = tasks_[taskId];
+        if (task.kind != Task::Kind::Shard || task.done ||
+            task.instances.empty())
+            continue;
+        if (task.instances.size() > options_.maxReissues)
+            continue;
+        bool anyLive = false;
+        for (const Task::Instance &instance : task.instances)
+            anyLive |= instance.live;
+        if (!anyLive)
+            continue;
+
+        const ManifestCampaign &campaign =
+            manifest_.campaigns[task.campaign];
+        const unsigned index =
+            static_cast<unsigned>(task.instances.size());
+        Task::Instance backup;
+        backup.journal =
+            task.instances[0].journal + strfmt(".r%u", index);
+        backup.log = backup.journal + ".log";
+        if (!copyJournalSnapshot(task.instances[0].journal,
+                                 backup.journal))
+            continue;
+
+        std::vector<std::string> args;
+        args.push_back(campaign.program);
+        args.insert(args.end(), campaign.args.begin(),
+                    campaign.args.end());
+        args.push_back(strfmt("--shard=%u/%u", task.shard,
+                              campaign.shards));
+        args.push_back("--journal=" + backup.journal);
+        args.push_back("--threads=1");
+
+        const long pid =
+            spawnWorker(args, backup.log, /*firstAttempt=*/true);
+        if (pid < 0)
+            continue;
+        backup.spawns = 1;
+        backup.live = true;
+        task.instances.push_back(std::move(backup));
+        ++outcomes_[task.campaign].spawns;
+        ++outcomes_[task.campaign].reissues;
+        live_.push_back({pid, {taskId, index}});
+        logLine(strfmt("reissue %s instance %u", task.label.c_str(),
+                       index));
+        return true;
+    }
+    return false;
+}
+
+void
+CampaignCtl::finishCampaign(std::size_t campaignIdx)
+{
+    const ManifestCampaign &campaign =
+        manifest_.campaigns[campaignIdx];
+    CampaignOutcome &outcome = outcomes_[campaignIdx];
+
+    std::vector<std::string> inputs;
+    bool failed = false;
+    for (std::size_t taskId = 0; taskId < tasks_.size(); ++taskId) {
+        const Task &task = tasks_[taskId];
+        if (task.campaign != campaignIdx ||
+            task.kind != Task::Kind::Shard)
+            continue;
+        if (!task.ok) {
+            failed = true;
+            continue;
+        }
+        inputs.push_back(task.winnerJournal);
+    }
+    if (failed) {
+        logLine("campaign " + campaign.name +
+                " FAILED: " + outcome.error);
+        return;
+    }
+
+    // Old campaign journal first (resume), then the winning shard
+    // journals — last wins, so fresher shard results supersede.
+    if (!options_.fresh) {
+        std::ifstream existing(outcome.journal);
+        if (existing)
+            inputs.insert(inputs.begin(), outcome.journal);
+    }
+
+    std::string mergeError;
+    const std::string staging = outcome.journal + ".merging";
+    if (!ResultStore::merge(inputs, staging, &outcome.mergeStats,
+                            &mergeError) ||
+        std::rename(staging.c_str(), outcome.journal.c_str()) != 0) {
+        std::remove(staging.c_str());
+        outcome.error = mergeError.empty()
+                            ? "cannot finalize merged journal " +
+                                  outcome.journal
+                            : mergeError;
+        logLine("campaign " + campaign.name +
+                " FAILED: " + outcome.error);
+        return;
+    }
+    logLine(strfmt("merge %s: %zu run(s) from %u input(s)%s",
+                   campaign.name.c_str(), outcome.mergeStats.entries,
+                   outcome.mergeStats.inputs,
+                   outcome.mergeStats.corruptLines
+                       ? strfmt(", %zu corrupt line(s) skipped",
+                                outcome.mergeStats.corruptLines)
+                           .c_str()
+                       : ""));
+
+    // The report pass re-invokes the bench against the merged
+    // journal: every run is served from its checkpoint, so the
+    // rendered report is byte-identical to a serial run's.
+    Task render;
+    render.kind = Task::Kind::Render;
+    render.campaign = campaignIdx;
+    render.label = campaign.name + "/render";
+    tasks_.push_back(std::move(render));
+    pending_.push_back(tasks_.size() - 1);
+}
+
+unsigned
+CampaignCtl::run()
+{
+    unsigned poolWidth = options_.workers;
+    if (poolWidth == 0) {
+        poolWidth = std::thread::hardware_concurrency();
+        if (poolWidth == 0)
+            poolWidth = 1;
+    }
+
+    outcomes_.clear();
+    tasks_.clear();
+    pending_.clear();
+    live_.clear();
+    nextPending_ = 0;
+    shardsLeft_.assign(manifest_.campaigns.size(), 0);
+
+    // Build the queue in manifest order — the deterministic dispatch
+    // sequence the log exposes and the tests pin.
+    for (std::size_t ci = 0; ci < manifest_.campaigns.size(); ++ci) {
+        const ManifestCampaign &campaign = manifest_.campaigns[ci];
+        CampaignOutcome outcome;
+        outcome.name = campaign.name;
+        outcome.journal = journalPath(campaign);
+        outcome.report = reportPath(campaign);
+        outcomes_.push_back(std::move(outcome));
+
+        if (options_.fresh)
+            std::remove(outcomes_[ci].journal.c_str());
+        else
+            seedShardJournalsFromParent(outcomes_[ci].journal,
+                                        outcomes_[ci].journal,
+                                        campaign.shards);
+
+        shardsLeft_[ci] = campaign.shards;
+        for (unsigned s = 0; s < campaign.shards; ++s) {
+            Task task;
+            task.kind = Task::Kind::Shard;
+            task.campaign = ci;
+            task.shard = s;
+            task.label = campaign.name + strfmt("/%u", s);
+            tasks_.push_back(std::move(task));
+            pending_.push_back(tasks_.size() - 1);
+        }
+    }
+
+    while (true) {
+        while (live_.size() < poolWidth &&
+               nextPending_ < pending_.size()) {
+            const std::size_t taskId = pending_[nextPending_++];
+            if (!startTask(taskId)) {
+                // Could not even fork: the task fails permanently.
+                Task &task = tasks_[taskId];
+                task.done = true;
+                task.ok = false;
+                CampaignOutcome &outcome = outcomes_[task.campaign];
+                if (outcome.error.empty())
+                    outcome.error =
+                        task.label + ": " +
+                        task.instances.back().error;
+                logLine("dead " + task.label + ": " +
+                        task.instances.back().error);
+                if (task.kind == Task::Kind::Shard &&
+                    --shardsLeft_[task.campaign] == 0)
+                    finishCampaign(task.campaign);
+            }
+        }
+        // Queue drained with slots to spare: speculatively back up
+        // stragglers instead of idling.
+        if (nextPending_ >= pending_.size())
+            while (live_.size() < poolWidth && reissueStraggler()) {
+            }
+        if (live_.empty())
+            break;
+
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // no children left we know about
+        }
+        auto it = live_.begin();
+        for (; it != live_.end(); ++it)
+            if (it->first == pid)
+                break;
+        if (it == live_.end())
+            continue;
+        const std::size_t taskId = it->second.first;
+        const unsigned instanceIdx = it->second.second;
+        live_.erase(it);
+
+        Task &task = tasks_[taskId];
+        Task::Instance &instance = task.instances[instanceIdx];
+        instance.live = false;
+        const ManifestCampaign &campaign =
+            manifest_.campaigns[task.campaign];
+        CampaignOutcome &outcome = outcomes_[task.campaign];
+
+        if (task.done) {
+            // A sibling already won and this instance was killed for
+            // it; nothing to account.
+            continue;
+        }
+
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            task.done = true;
+            task.ok = true;
+            task.winnerJournal = instance.journal;
+            if (instanceIdx == 0)
+                logLine("exit " + task.label + " ok");
+            else
+                logLine(strfmt("exit %s ok (backup instance %u won)",
+                               task.label.c_str(), instanceIdx));
+            // Losing instances are moot now; reap them via the
+            // task.done early-out above.
+            for (auto &entry : live_)
+                if (entry.second.first == taskId) {
+                    ::kill(static_cast<pid_t>(entry.first), SIGKILL);
+                    task.instances[entry.second.second].superseded =
+                        true;
+                    logLine(strfmt("supersede %s instance %u",
+                                   task.label.c_str(),
+                                   entry.second.second));
+                }
+            if (task.kind == Task::Kind::Shard) {
+                if (--shardsLeft_[task.campaign] == 0)
+                    finishCampaign(task.campaign);
+            } else {
+                outcome.ok = outcome.error.empty();
+                logLine("report " + campaign.name + ": " +
+                        outcome.report);
+            }
+            continue;
+        }
+
+        // Death. A render pass that EXITS nonzero did its work and
+        // found failing runs (or could not write the report) — a
+        // deterministic verdict a respawn would only repeat.
+        if (task.kind == Task::Kind::Render && WIFEXITED(status)) {
+            task.done = true;
+            task.ok = false;
+            if (outcome.error.empty())
+                outcome.error = strfmt(
+                    "report render exited with status %d (log: %s)",
+                    WEXITSTATUS(status), instance.log.c_str());
+            logLine("campaign " + campaign.name +
+                    " FAILED: " + outcome.error);
+            continue;
+        }
+
+        if (instance.spawns <= options_.maxRespawns) {
+            // Respawn the same instance without --fresh: the
+            // replacement resumes the instance's journal and repeats
+            // only the runs the dead attempt had not checkpointed.
+            std::vector<std::string> args;
+            args.push_back(campaign.program);
+            args.insert(args.end(), campaign.args.begin(),
+                        campaign.args.end());
+            if (task.kind == Task::Kind::Shard) {
+                args.push_back(strfmt("--shard=%u/%u", task.shard,
+                                      campaign.shards));
+                args.push_back("--journal=" + instance.journal);
+            } else {
+                args.push_back("--journal=" + instance.journal);
+                args.push_back("--json=" + reportPath(campaign));
+            }
+            args.push_back("--threads=1");
+            const long next = spawnWorker(args, instance.log,
+                                          /*firstAttempt=*/false);
+            if (next >= 0) {
+                ++instance.spawns;
+                ++outcome.spawns;
+                instance.live = true;
+                live_.push_back({next, {taskId, instanceIdx}});
+                logLine(strfmt("respawn %s attempt %u",
+                               task.label.c_str(), instance.spawns));
+                continue;
+            }
+        }
+
+        // This instance is out of lives.
+        instance.dead = true;
+        instance.error = ShardRunner::describeWaitStatus(status);
+        logLine(strfmt("dead %s instance %u: %s", task.label.c_str(),
+                       instanceIdx, instance.error.c_str()));
+        bool anyHope = false;
+        for (const Task::Instance &other : task.instances)
+            anyHope |= other.live;
+        if (anyHope)
+            continue;
+
+        task.done = true;
+        task.ok = false;
+        if (outcome.error.empty()) {
+            outcome.error = task.label + " died after " +
+                            strfmt("%u attempt(s): ", instance.spawns) +
+                            instance.error;
+            const std::string tail =
+                ShardRunner::fileTail(instance.log);
+            if (!tail.empty())
+                outcome.error += "; log tail: " + tail;
+        }
+        if (task.kind == Task::Kind::Shard) {
+            if (--shardsLeft_[task.campaign] == 0)
+                finishCampaign(task.campaign);
+        } else {
+            logLine("campaign " + campaign.name +
+                    " FAILED: " + outcome.error);
+        }
+    }
+
+    unsigned failures = 0;
+    for (CampaignOutcome &outcome : outcomes_) {
+        if (!outcome.ok && outcome.error.empty())
+            outcome.error = "campaign did not complete";
+        failures += !outcome.ok;
+    }
+    return failures;
+}
+
+} // namespace pth

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Campaign orchestrator: run a manifest of sharded campaigns across a
+ * bounded pool of worker subprocesses — the layer above `bench
+ * --workers N`, which dispatches ONE campaign. campaign_ctl keeps a
+ * whole suite's shards flowing through the same pool, so a manifest
+ * of heterogeneous campaigns (different bench binaries, args, shard
+ * counts) saturates the machine without oversubscribing it.
+ *
+ * The dispatch contract is the shard_runner one: every shard worker
+ * is `program args... --shard I/N --journal J --threads 1`, every
+ * campaign's shard journals merge (ResultStore::merge) into the
+ * campaign journal, and the final report is rendered by re-invoking
+ * the bench with the merged journal — so the orchestrated report is
+ * byte-identical to a serial `program args --json=...` run.
+ *
+ * Fault handling, per shard task:
+ *  - a dead worker (nonzero exit, signal, failed exec) is respawned
+ *    with the same journal up to maxRespawns times; the replacement
+ *    resumes from the dead attempt's checkpoint;
+ *  - once the queue drains, idle pool slots speculatively re-issue
+ *    still-running shard tasks (classic straggler mitigation): a
+ *    backup instance starts from a snapshot copy of the primary's
+ *    journal, the first instance to finish wins and its siblings are
+ *    killed — safe because instances never share a journal file and
+ *    the merged result is index-keyed, not instance-keyed;
+ *  - a task whose every instance died permanently fails its campaign,
+ *    which is surfaced (no merge, no report, nonzero exit) instead of
+ *    quietly shrinking the suite.
+ *
+ * The scheduler is deterministic where determinism is visible: tasks
+ * are dispatched in manifest order, so the sequence of first-attempt
+ * spawn log lines is the same for any pool width; only respawn /
+ * re-issue lines depend on timing.
+ */
+
+#ifndef PTH_HARNESS_CAMPAIGN_CTL_HH
+#define PTH_HARNESS_CAMPAIGN_CTL_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/result_store.hh"
+
+namespace pth
+{
+
+/** One campaign of a manifest: a bench invocation plus its shard
+ * count and artifact paths. */
+struct ManifestCampaign
+{
+    std::string name;               //!< unique; names artifacts + logs
+    std::string program;            //!< bench binary to exec
+    std::vector<std::string> args;  //!< bench-specific knobs
+    unsigned shards = 1;            //!< worker slice count
+
+    /** Campaign journal / report paths; empty means derive
+     * "<outDir>/<name>.jsonl" and "<outDir>/<name>.json". */
+    std::string journal;
+    std::string report;
+};
+
+/** A parsed campaign manifest. */
+struct Manifest
+{
+    std::vector<ManifestCampaign> campaigns;
+
+    /**
+     * Parse manifest JSON:
+     *
+     *   { "campaigns": [ { "name": "t1",
+     *                      "program": "./bench/bench_table1_configs",
+     *                      "args": ["--dram-model=trr"],
+     *                      "shards": 3,
+     *                      "journal": "out/t1.jsonl",   // optional
+     *                      "report": "out/t1.json" },   // optional
+     *                    ... ] }
+     *
+     * Validation is strict — unknown keys, missing/empty name or
+     * program, zero shards and duplicate names are errors. Returns
+     * false with a message in error.
+     */
+    static bool parse(const std::string &text, Manifest &out,
+                      std::string &error);
+
+    /** Read and parse a manifest file. */
+    static bool load(const std::string &path, Manifest &out,
+                     std::string &error);
+};
+
+/** Orchestrator knobs. */
+struct CampaignCtlOptions
+{
+    /** Pool width: live worker subprocesses (0 = one per core). */
+    unsigned workers = 2;
+
+    /** Extra attempts after an instance dies before giving it up. */
+    unsigned maxRespawns = 2;
+
+    /** Speculative backup instances a straggling shard task may get
+     * once the queue is empty (0 disables re-issue). */
+    unsigned maxReissues = 1;
+
+    /** Discard existing journals; rerun everything. */
+    bool fresh = false;
+
+    /** Directory for derived journal/report paths. */
+    std::string outDir = ".";
+
+    /** Fault injection: "name/shard" first attempts to SIGKILL right
+     * after spawn — the deterministic worker-crash hook the CI smoke
+     * and the tests drive respawn-with-resume through. */
+    std::vector<std::pair<std::string, unsigned>> injectKills;
+
+    /** Dispatch log sink (spawn/exit/respawn/merge lines); null
+     * silences it. */
+    std::ostream *log = nullptr;
+};
+
+/** What happened to one campaign of the manifest. */
+struct CampaignOutcome
+{
+    std::string name;
+    std::string journal;        //!< merged campaign journal
+    std::string report;         //!< rendered JSON report
+    bool ok = false;            //!< shards + merge + render all good
+    std::string error;          //!< first failure reason when !ok
+    unsigned spawns = 0;        //!< worker attempts across shards
+    unsigned reissues = 0;      //!< backup instances spawned
+    ResultStore::MergeStats mergeStats;
+};
+
+/** Runs a manifest through the bounded worker pool. */
+class CampaignCtl
+{
+  public:
+    CampaignCtl(Manifest manifest, CampaignCtlOptions options);
+    ~CampaignCtl(); // out of line: Task is incomplete here
+
+    /**
+     * Dispatch every campaign's shards over the pool, merge and
+     * render each campaign as its shards complete, and return the
+     * number of failed campaigns (0 = whole manifest succeeded).
+     * POSIX-only (fork/exec/waitpid), like shard_runner.
+     */
+    unsigned run();
+
+    /** Per-campaign outcomes, in manifest order (valid after run). */
+    const std::vector<CampaignOutcome> &outcomes() const
+    {
+        return outcomes_;
+    }
+
+    /** The artifact paths a campaign will use (derivation applied). */
+    std::string journalPath(const ManifestCampaign &campaign) const;
+    std::string reportPath(const ManifestCampaign &campaign) const;
+
+  private:
+    struct Task;
+
+    void logLine(const std::string &line) const;
+    bool startTask(std::size_t taskId);
+    bool reissueStraggler();
+    void finishCampaign(std::size_t campaignIdx);
+
+    Manifest manifest_;
+    CampaignCtlOptions options_;
+    std::vector<CampaignOutcome> outcomes_;
+
+    std::vector<Task> tasks_;
+    std::vector<std::size_t> pending_;  //!< task ids awaiting a slot
+    std::size_t nextPending_ = 0;
+    std::vector<std::pair<long, std::pair<std::size_t, unsigned>>>
+        live_;                          //!< pid -> (task, instance)
+    std::vector<unsigned> shardsLeft_;  //!< per campaign, incl. render
+};
+
+} // namespace pth
+
+#endif // PTH_HARNESS_CAMPAIGN_CTL_HH

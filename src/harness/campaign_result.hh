@@ -38,6 +38,16 @@ struct RunResult
     std::string machine;        //!< machine preset name
     std::string defense;        //!< defense policy name
     std::string strategy;       //!< hammer strategy name
+
+    /**
+     * DRAM flip-model name ("ddr3", "trr", ...), the journal-visible
+     * trace of RunSpec::dramModel that journal_index filters and
+     * groups on. Empty when the result came from a journal written
+     * before the field existed ("unrecorded"); reports (toJson) do
+     * not carry it, so adding it changed no report bytes.
+     */
+    std::string dramModel;
+
     std::uint64_t seed = 0;     //!< run seed
 
     bool ok = true;             //!< run completed without throwing

@@ -1,0 +1,571 @@
+#include "harness/journal_index.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/json.hh"
+#include "common/table.hh"
+#include "harness/result_store.hh"
+
+namespace pth
+{
+
+const char *
+runAxisName(RunAxis axis)
+{
+    switch (axis) {
+    case RunAxis::Label: return "label";
+    case RunAxis::Machine: return "machine";
+    case RunAxis::Defense: return "defense";
+    case RunAxis::Strategy: return "strategy";
+    case RunAxis::Seed: return "seed";
+    case RunAxis::DramModel: return "dram-model";
+    }
+    return "?";
+}
+
+bool
+parseRunAxis(const std::string &text, RunAxis &out)
+{
+    if (text == "label") {
+        out = RunAxis::Label;
+    } else if (text == "machine" || text == "preset") {
+        out = RunAxis::Machine;
+    } else if (text == "defense") {
+        out = RunAxis::Defense;
+    } else if (text == "strategy") {
+        out = RunAxis::Strategy;
+    } else if (text == "seed") {
+        out = RunAxis::Seed;
+    } else if (text == "dram-model" || text == "dram_model" ||
+               text == "model") {
+        out = RunAxis::DramModel;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::string
+IndexedRun::axisValue(RunAxis axis) const
+{
+    switch (axis) {
+    case RunAxis::Label: return label;
+    case RunAxis::Machine: return machine;
+    case RunAxis::Defense: return defense;
+    case RunAxis::Strategy: return strategy;
+    case RunAxis::Seed:
+        return strfmt("%llu", static_cast<unsigned long long>(seed));
+    case RunAxis::DramModel:
+        return dramModel.empty() ? "unrecorded" : dramModel;
+    }
+    return std::string();
+}
+
+IndexedRun
+indexedRunFromResult(const RunResult &r, std::uint64_t key)
+{
+    IndexedRun run;
+    run.index = r.index;
+    run.label = r.label;
+    run.machine = r.machine;
+    run.defense = r.defense;
+    run.strategy = r.strategy;
+    run.dramModel = r.dramModel;
+    run.seed = r.seed;
+    run.key = key;
+    run.ok = r.ok;
+    run.flipped = r.flipped;
+    run.escalated = r.escalated;
+    run.flips = r.flips;
+    run.attempts = r.attempts;
+    run.simSeconds = r.simSeconds;
+    run.timeToFlipMinutes = r.report.timeToFirstFlipMinutes;
+    run.metrics = r.metrics;
+    return run;
+}
+
+namespace
+{
+
+/** Parse one object of a report's "runs" array (campaign toJson). */
+bool
+indexedRunFromReportObject(const JsonValue &obj, IndexedRun &run)
+{
+    if (!obj.isObject())
+        return false;
+    const JsonValue *label = obj.find("label");
+    const JsonValue *index = obj.find("index");
+    if (!label || !label->isString() || !index)
+        return false;
+    run.index = index->asU64();
+    run.label = label->asString();
+    if (const JsonValue *v = obj.find("machine"))
+        run.machine = v->asString();
+    if (const JsonValue *v = obj.find("defense"))
+        run.defense = v->asString();
+    if (const JsonValue *v = obj.find("strategy"))
+        run.strategy = v->asString();
+    if (const JsonValue *v = obj.find("dram_model"))
+        run.dramModel = v->asString();
+    if (const JsonValue *v = obj.find("seed"))
+        run.seed = v->asU64();
+    if (const JsonValue *v = obj.find("ok"))
+        run.ok = v->asBool(true);
+    if (const JsonValue *v = obj.find("flipped"))
+        run.flipped = v->asBool();
+    if (const JsonValue *v = obj.find("escalated"))
+        run.escalated = v->asBool();
+    if (const JsonValue *v = obj.find("flips"))
+        run.flips = v->asU64();
+    if (const JsonValue *v = obj.find("attempts"))
+        run.attempts = v->asU64();
+    if (const JsonValue *v = obj.find("sim_seconds"))
+        run.simSeconds = v->asDouble();
+    if (const JsonValue *v = obj.find("time_to_flip_minutes"))
+        run.timeToFlipMinutes = v->asDouble();
+    if (const JsonValue *metrics = obj.find("metrics"))
+        for (const auto &member : metrics->members())
+            run.metrics.emplace_back(member.first,
+                                     member.second.asDouble());
+    return true;
+}
+
+} // namespace
+
+void
+JournalIndex::insert(IndexedRun run)
+{
+    ++stats_.entries;
+    auto it = byIndex_.find(run.index);
+    if (it != byIndex_.end()) {
+        ++stats_.superseded;
+        it->second = std::move(run);
+        return;
+    }
+    byIndex_.emplace(run.index, std::move(run));
+}
+
+bool
+JournalIndex::addJournal(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    ++stats_.journals;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ResultStore::Entry entry;
+        if (!ResultStore::deserialize(line, entry)) {
+            ++stats_.corruptLines;
+            continue;
+        }
+        insert(indexedRunFromResult(entry.result, entry.key));
+    }
+    return true;
+}
+
+bool
+JournalIndex::addArtifact(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot read " + path;
+        return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    JsonValue doc;
+    if (JsonValue::parse(text, doc) && doc.isObject() &&
+        doc.find("runs")) {
+        ++stats_.reports;
+        std::size_t loaded = 0;
+        for (const JsonValue &obj : doc.find("runs")->items()) {
+            IndexedRun run;
+            if (!indexedRunFromReportObject(obj, run))
+                continue;
+            insert(std::move(run));
+            ++loaded;
+        }
+        if (loaded == 0) {
+            if (error)
+                *error = path + ": campaign report contains no runs";
+            return false;
+        }
+        return true;
+    }
+
+    // Not a report: journal lines. Parse from the text already read
+    // so the damage count belongs to this artifact alone.
+    ++stats_.journals;
+    std::size_t loaded = 0;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        ResultStore::Entry entry;
+        if (!ResultStore::deserialize(line, entry)) {
+            ++stats_.corruptLines;
+            continue;
+        }
+        insert(indexedRunFromResult(entry.result, entry.key));
+        ++loaded;
+    }
+    if (loaded == 0) {
+        if (error)
+            *error =
+                path + ": neither a campaign report nor a journal";
+        return false;
+    }
+    return true;
+}
+
+std::vector<const IndexedRun *>
+JournalIndex::runs() const
+{
+    std::vector<const IndexedRun *> out;
+    out.reserve(byIndex_.size());
+    for (const auto &item : byIndex_)
+        out.push_back(&item.second);
+    return out;
+}
+
+bool
+JournalIndex::parseFilter(const std::string &text, Filter &out,
+                          std::string *error)
+{
+    const std::size_t eq = text.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        if (error)
+            *error = "bad filter '" + text + "' (use AXIS=VALUE)";
+        return false;
+    }
+    const std::string axis = text.substr(0, eq);
+    if (!parseRunAxis(axis, out.axis)) {
+        if (error)
+            *error = "unknown axis '" + axis +
+                     "' (use label, machine, defense, strategy,"
+                     " seed or dram-model)";
+        return false;
+    }
+    out.value = text.substr(eq + 1);
+    return true;
+}
+
+std::vector<const IndexedRun *>
+JournalIndex::select(const std::vector<Filter> &filters) const
+{
+    std::vector<const IndexedRun *> out;
+    for (const auto &item : byIndex_) {
+        const IndexedRun &run = item.second;
+        bool match = true;
+        for (const Filter &f : filters)
+            if (run.axisValue(f.axis) != f.value) {
+                match = false;
+                break;
+            }
+        if (match)
+            out.push_back(&run);
+    }
+    return out;
+}
+
+void
+aggregateIndexedRun(CampaignAggregate &agg, const IndexedRun &run)
+{
+    // The same fold CampaignAggregate::add applies to a RunResult,
+    // over the indexed projection.
+    ++agg.runs;
+    if (!run.ok) {
+        ++agg.failedRuns;
+        return;
+    }
+    agg.flippedRuns += run.flipped;
+    agg.escalatedRuns += run.escalated;
+    agg.totalFlips += run.flips;
+    agg.totalAttempts += run.attempts;
+    agg.simSeconds.sample(run.simSeconds);
+    agg.flipsPerRun.sample(static_cast<double>(run.flips));
+    if (run.flipped)
+        agg.timeToFlipMinutes.sample(run.timeToFlipMinutes);
+}
+
+std::vector<JournalIndex::Group>
+JournalIndex::groupBy(const std::vector<const IndexedRun *> &runs,
+                      RunAxis axis)
+{
+    std::map<std::string, CampaignAggregate> groups;
+    for (const IndexedRun *run : runs)
+        aggregateIndexedRun(groups[run->axisValue(axis)], *run);
+
+    std::vector<Group> out;
+    out.reserve(groups.size());
+    for (auto &item : groups)
+        out.push_back(Group{item.first, item.second});
+    if (axis == RunAxis::Seed)
+        std::sort(out.begin(), out.end(),
+                  [](const Group &a, const Group &b) {
+                      return std::strtoull(a.value.c_str(), nullptr,
+                                           10) <
+                             std::strtoull(b.value.c_str(), nullptr,
+                                           10);
+                  });
+    return out;
+}
+
+Table
+JournalIndex::groupTable(const std::vector<Group> &groups,
+                         RunAxis axis)
+{
+    Table table({runAxisName(axis), "Runs", "Failed", "Flipped",
+                 "Escalated", "Flips", "Mean sim s",
+                 "Mean time-to-flip"});
+    for (const Group &group : groups) {
+        const CampaignAggregate &agg = group.agg;
+        table.addRow(
+            {group.value,
+             strfmt("%llu", static_cast<unsigned long long>(agg.runs)),
+             strfmt("%llu",
+                    static_cast<unsigned long long>(agg.failedRuns)),
+             strfmt("%llu",
+                    static_cast<unsigned long long>(agg.flippedRuns)),
+             strfmt("%llu", static_cast<unsigned long long>(
+                                agg.escalatedRuns)),
+             strfmt("%llu",
+                    static_cast<unsigned long long>(agg.totalFlips)),
+             strfmt("%.4g", agg.simSeconds.mean()),
+             agg.timeToFlipMinutes.count()
+                 ? strfmt("%.2f m", agg.timeToFlipMinutes.mean())
+                 : "-"});
+    }
+    return table;
+}
+
+Table
+JournalIndex::runTable(const std::vector<const IndexedRun *> &runs)
+{
+    Table table({"Run", "Machine", "Defense", "Strategy", "Dram",
+                 "Seed", "Ok", "Flips", "Escalated", "Sim s"});
+    for (const IndexedRun *run : runs)
+        table.addRow(
+            {run->label, run->machine, run->defense, run->strategy,
+             run->axisValue(RunAxis::DramModel),
+             strfmt("%llu", static_cast<unsigned long long>(run->seed)),
+             run->ok ? "yes" : "FAILED",
+             strfmt("%llu",
+                    static_cast<unsigned long long>(run->flips)),
+             run->escalated ? "YES" : "no",
+             strfmt("%.4g", run->simSeconds)});
+    return table;
+}
+
+bool
+sameReportValue(double a, double b)
+{
+    if (a == b)
+        return true;
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= 1e-8 * scale;
+}
+
+namespace
+{
+
+bool
+sameMetrics(const std::vector<std::pair<std::string, double>> &a,
+            const std::vector<std::pair<std::string, double>> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].first != b[i].first ||
+            !sameReportValue(a[i].second, b[i].second))
+            return false;
+    return true;
+}
+
+/** Labels appearing more than once across both run sets. */
+std::set<std::string>
+duplicatedLabels(const std::vector<const IndexedRun *> &a,
+                 const std::vector<const IndexedRun *> &b)
+{
+    std::map<std::string, unsigned> uses;
+    for (const IndexedRun *run : a)
+        ++uses[run->label];
+    for (const IndexedRun *run : b)
+        ++uses[run->label];
+    std::set<std::string> duplicated;
+    for (const auto &item : uses)
+        if (item.second > 1)
+            duplicated.insert(item.first);
+    return duplicated;
+}
+
+/**
+ * Key runs by label, appending the index for labels duplicated in
+ * either artifact — both sides must disambiguate the same way or a
+ * label that repeats on one side only would never match the other.
+ */
+std::map<std::string, const IndexedRun *>
+keyByLabel(const std::vector<const IndexedRun *> &runs,
+           const std::set<std::string> &duplicated)
+{
+    std::map<std::string, const IndexedRun *> keyed;
+    for (const IndexedRun *run : runs) {
+        std::string key =
+            duplicated.count(run->label)
+                ? run->label + strfmt("#%zu", run->index)
+                : run->label;
+        keyed[key] = run;
+    }
+    return keyed;
+}
+
+std::string
+deltaCell(double base, double current)
+{
+    if (sameReportValue(base, current))
+        return "=";
+    const double delta = current - base;
+    if (base != 0)
+        return strfmt("%+.3g (%+.1f%%)", delta,
+                      100.0 * delta / base);
+    return strfmt("%+.3g", delta);
+}
+
+} // namespace
+
+RunDiff
+diffRuns(const std::vector<const IndexedRun *> &baseline,
+         const std::vector<const IndexedRun *> &current,
+         const RunDiffOptions &options)
+{
+    RunDiff diff;
+    const std::set<std::string> duplicated =
+        duplicatedLabels(baseline, current);
+    auto baseByLabel = keyByLabel(baseline, duplicated);
+    auto curByLabel = keyByLabel(current, duplicated);
+
+    for (const auto &item : baseByLabel) {
+        const IndexedRun &b = *item.second;
+        RunDelta delta;
+        delta.name = item.first;
+        delta.base = &b;
+
+        auto match = curByLabel.find(item.first);
+        if (match == curByLabel.end()) {
+            ++diff.removed;
+            delta.status = RunDeltaStatus::Removed;
+            diff.deltas.push_back(std::move(delta));
+            continue;
+        }
+        const IndexedRun &c = *match->second;
+        delta.current = &c;
+
+        const bool worseOk = b.ok && !c.ok;
+        const bool worseFlip = b.flipped && !c.flipped;
+        const bool worseEsc = b.escalated && !c.escalated;
+        const bool fewerFlips = c.flips < b.flips;
+        const bool slower =
+            b.simSeconds > 0 &&
+            c.simSeconds >
+                b.simSeconds * (1.0 + options.tolerancePct / 100.0);
+
+        const bool identical =
+            b.ok == c.ok && b.flipped == c.flipped &&
+            b.escalated == c.escalated && b.flips == c.flips &&
+            b.attempts == c.attempts &&
+            sameReportValue(b.simSeconds, c.simSeconds) &&
+            sameReportValue(b.timeToFlipMinutes,
+                            c.timeToFlipMinutes) &&
+            sameMetrics(b.metrics, c.metrics);
+
+        if (worseOk || worseFlip || worseEsc || fewerFlips || slower) {
+            ++diff.regressions;
+            delta.status = RunDeltaStatus::Regressed;
+            delta.detail = worseOk       ? "now fails"
+                           : worseFlip   ? "no flip"
+                           : worseEsc    ? "no escalation"
+                           : fewerFlips  ? "fewer flips"
+                                         : "slower";
+        } else if (identical) {
+            ++diff.unchanged;
+            delta.status = RunDeltaStatus::Unchanged;
+        } else {
+            ++diff.changed;
+            delta.status = RunDeltaStatus::Changed;
+        }
+        diff.deltas.push_back(std::move(delta));
+    }
+
+    for (const auto &item : curByLabel) {
+        if (baseByLabel.count(item.first))
+            continue;
+        ++diff.added;
+        RunDelta delta;
+        delta.name = item.first;
+        delta.current = item.second;
+        delta.status = RunDeltaStatus::Added;
+        diff.deltas.push_back(std::move(delta));
+    }
+    return diff;
+}
+
+Table
+diffTable(const RunDiff &diff, bool showAll)
+{
+    Table table({"Run", "Flips (base -> cur)", "Sim seconds delta",
+                 "Time-to-flip delta", "Status"});
+    for (const RunDelta &delta : diff.deltas) {
+        switch (delta.status) {
+        case RunDeltaStatus::Removed:
+            table.addRow({delta.name, "-", "-", "-", "REMOVED"});
+            continue;
+        case RunDeltaStatus::Added:
+            table.addRow({delta.name, "-", "-", "-", "ADDED"});
+            continue;
+        case RunDeltaStatus::Unchanged:
+            if (!showAll)
+                continue;
+            break;
+        default:
+            break;
+        }
+        const IndexedRun &b = *delta.base;
+        const IndexedRun &c = *delta.current;
+        std::string status;
+        switch (delta.status) {
+        case RunDeltaStatus::Regressed:
+            status = "REGRESSION (" + delta.detail + ")";
+            break;
+        case RunDeltaStatus::Changed:
+            status = "changed";
+            break;
+        default:
+            status = "unchanged";
+            break;
+        }
+        table.addRow(
+            {delta.name,
+             strfmt("%llu -> %llu",
+                    static_cast<unsigned long long>(b.flips),
+                    static_cast<unsigned long long>(c.flips)),
+             deltaCell(b.simSeconds, c.simSeconds),
+             deltaCell(b.timeToFlipMinutes, c.timeToFlipMinutes),
+             status});
+    }
+    return table;
+}
+
+} // namespace pth

@@ -247,6 +247,11 @@ ResultStore::serialize(const RunResult &r, std::uint64_t key)
     writeString(out, "machine", r.machine);
     writeString(out, "defense", r.defense);
     writeString(out, "strategy", r.strategy);
+    // Optional (written only when known) so journals from before the
+    // field existed keep their bytes: an old line re-serializes
+    // identically, and a default-constructed result round-trips.
+    if (!r.dramModel.empty())
+        writeString(out, "dram_model", r.dramModel);
     writeU64(out, "seed", r.seed);
     writeBool(out, "ok", r.ok);
     writeString(out, "error", r.error);
@@ -315,6 +320,13 @@ ResultStore::deserialize(const std::string &line, Entry &out)
     r.machine = getString(doc, "machine", ok);
     r.defense = getString(doc, "defense", ok);
     r.strategy = getString(doc, "strategy", ok);
+    // dram_model is optional: absent on pre-field journals (stays
+    // empty = "unrecorded"), but mistyped-if-present is corrupt.
+    if (const JsonValue *dm = doc.find("dram_model")) {
+        if (!dm->isString())
+            return false;
+        r.dramModel = dm->asString();
+    }
     r.seed = getU64(doc, "seed", ok);
     r.ok = getBool(doc, "ok", ok);
     r.error = getString(doc, "error", ok);

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include <fcntl.h>
@@ -13,6 +14,7 @@
 #include <unistd.h>
 
 #include "common/table.hh"
+#include "harness/result_store.hh"
 
 namespace pth
 {
@@ -25,7 +27,14 @@ ShardRunner::ShardRunner(ShardRunnerOptions options)
 std::string
 ShardRunner::shardJournalPath(unsigned shard) const
 {
-    return options_.journalBase + strfmt(".shard%u", shard);
+    return shardJournalPath(options_.journalBase, shard);
+}
+
+std::string
+ShardRunner::shardJournalPath(const std::string &journalBase,
+                              unsigned shard)
+{
+    return journalBase + strfmt(".shard%u", shard);
 }
 
 std::string
@@ -184,6 +193,41 @@ ShardRunner::run()
     }
 
     return reports;
+}
+
+std::size_t
+seedShardJournalsFromParent(const std::string &parentJournal,
+                            const std::string &journalBase,
+                            unsigned workers)
+{
+    if (workers == 0)
+        return 0;
+    auto prior = ResultStore::load(parentJournal);
+    std::vector<std::unique_ptr<ResultStore>> seeds(workers);
+    std::vector<std::map<std::size_t, ResultStore::Entry>> present(
+        workers);
+    std::vector<char> presentLoaded(workers, 0);
+    std::size_t seeded = 0;
+    for (auto &item : prior) {
+        const unsigned w =
+            static_cast<unsigned>(item.first % workers);
+        const std::string shardPath =
+            ShardRunner::shardJournalPath(journalBase, w);
+        if (!presentLoaded[w]) {
+            present[w] = ResultStore::load(shardPath);
+            presentLoaded[w] = 1;
+        }
+        auto held = present[w].find(item.first);
+        if (held != present[w].end() &&
+            held->second.key == item.second.key)
+            continue;
+        if (!seeds[w])
+            seeds[w] = std::make_unique<ResultStore>(
+                shardPath, /*truncate=*/false);
+        seeds[w]->record(item.second.result, item.second.key);
+        ++seeded;
+    }
+    return seeded;
 }
 
 } // namespace pth

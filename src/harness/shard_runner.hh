@@ -93,6 +93,10 @@ class ShardRunner
     /** journalBase + ".shard<i>" — where worker i checkpoints. */
     std::string shardJournalPath(unsigned shard) const;
 
+    /** The same path rule without a runner instance. */
+    static std::string shardJournalPath(const std::string &journalBase,
+                                        unsigned shard);
+
     /** Human-readable decode of a waitpid status. */
     static std::string describeWaitStatus(int status);
 
@@ -111,6 +115,21 @@ class ShardRunner
 
     ShardRunnerOptions options_;
 };
+
+/**
+ * Seed each shard journal (journalBase + ".shard<i>", i in
+ * [0, workers)) with the parent journal's entries for its residue
+ * class, so a campaign previously completed (or partially completed)
+ * under another dispatch mode is not recomputed by the worker fleet.
+ * Idempotent: an entry the shard journal already holds under the same
+ * key is not re-appended, and workers still re-validate every seeded
+ * entry by spec key. A missing parent journal seeds nothing.
+ *
+ * Returns the number of entries appended across all shard journals.
+ */
+std::size_t seedShardJournalsFromParent(
+    const std::string &parentJournal, const std::string &journalBase,
+    unsigned workers);
 
 } // namespace pth
 

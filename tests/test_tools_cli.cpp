@@ -1,0 +1,381 @@
+/**
+ * @file
+ * CLI-level tests for the operator tools: campaign_merge,
+ * campaign_compare, campaign_query and campaign_ctl are exercised as
+ * subprocesses — the way CI and operators run them — pinning exit
+ * codes (regression counts, usage errors), corrupt-input tolerance
+ * and the merge byte contract. Tool paths come from the build via
+ * PTH_TOOL_* compile definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include "harness/campaign.hh"
+#include "harness/result_store.hh"
+
+namespace pth
+{
+namespace
+{
+
+/** One tool invocation: exit code plus captured stdout/stderr. */
+struct CliResult
+{
+    int exit = -1;
+    std::string out;
+    std::string err;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Run `tool args...` through the shell, capturing everything. Paths
+ * in args must not need quoting beyond the double quotes added. */
+CliResult
+runCli(const std::string &tool,
+       const std::vector<std::string> &args)
+{
+    const std::string outPath = testing::TempDir() + "pth_cli_out";
+    const std::string errPath = testing::TempDir() + "pth_cli_err";
+    std::string cmd = "\"" + tool + "\"";
+    for (const std::string &arg : args)
+        cmd += " \"" + arg + "\"";
+    cmd += " > \"" + outPath + "\" 2> \"" + errPath + "\"";
+
+    CliResult result;
+    const int status = std::system(cmd.c_str());
+    result.exit = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    result.out = readFile(outPath);
+    result.err = readFile(errPath);
+    std::remove(outPath.c_str());
+    std::remove(errPath.c_str());
+    return result;
+}
+
+std::string
+tempPath(const char *name)
+{
+    const std::string path = testing::TempDir() + "pth_cli_" + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+RunResult
+makeRun(std::size_t index, std::uint64_t flips)
+{
+    RunResult r;
+    r.index = index;
+    r.label = "cli" + std::to_string(index);
+    r.machine = "Test Small";
+    r.defense = "none";
+    r.strategy = "pthammer";
+    r.dramModel = "ddr3";
+    r.seed = 10 + index;
+    r.flips = flips;
+    r.flipped = flips > 0;
+    r.attempts = 1;
+    r.simSeconds = static_cast<double>(index + 1);
+    r.report.flipped = r.flipped;
+    r.report.timeToFirstFlipMinutes = r.flipped ? 1.0 : 0.0;
+    return r;
+}
+
+void
+writeJournal(const std::string &path,
+             const std::vector<RunResult> &runs)
+{
+    std::ofstream out(path, std::ios::trunc);
+    for (const RunResult &r : runs)
+        out << ResultStore::serialize(r, 100 + r.index) << '\n';
+}
+
+// ---------------------------------------------------------------- //
+// campaign_merge                                                   //
+// ---------------------------------------------------------------- //
+
+TEST(CampaignMergeCli, MergesShardsAndCountsSupersededDuplicates)
+{
+    const std::string a = tempPath("merge_a.jsonl");
+    const std::string b = tempPath("merge_b.jsonl");
+    const std::string out = tempPath("merge_out.jsonl");
+    writeJournal(a, {makeRun(0, 1), makeRun(1, 1)});
+    writeJournal(b, {makeRun(1, 9), makeRun(2, 2)});
+
+    const CliResult result =
+        runCli(PTH_TOOL_CAMPAIGN_MERGE, {a, b, "-o", out});
+    EXPECT_EQ(result.exit, 0) << result.err;
+    EXPECT_NE(result.err.find("merged 3 run(s) from 2 journal(s)"),
+              std::string::npos)
+        << result.err;
+    EXPECT_NE(result.err.find("1 superseded"), std::string::npos);
+
+    // Byte contract: the file equals the library merge of the same
+    // inputs in the same order.
+    const std::string expected = tempPath("merge_lib.jsonl");
+    ASSERT_TRUE(ResultStore::merge({a, b}, expected));
+    EXPECT_EQ(readFile(out), readFile(expected));
+
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+    std::remove(out.c_str());
+    std::remove(expected.c_str());
+}
+
+TEST(CampaignMergeCli, ToleratesCorruptAndMissingInputs)
+{
+    const std::string a = tempPath("merge_torn.jsonl");
+    const std::string out = tempPath("merge_torn_out.jsonl");
+    {
+        std::ofstream os(a, std::ios::trunc);
+        os << ResultStore::serialize(makeRun(0, 1), 100) << '\n';
+        os << "{\"torn\":  \n";
+    }
+    const CliResult result = runCli(
+        PTH_TOOL_CAMPAIGN_MERGE, {a, "/nonexistent/s1.jsonl", "-o",
+                                  out});
+    EXPECT_EQ(result.exit, 0) << result.err;
+    EXPECT_NE(result.err.find("skipped 1 corrupt line(s)"),
+              std::string::npos)
+        << result.err;
+    EXPECT_NE(result.err.find("1 input journal(s) missing"),
+              std::string::npos);
+
+    // All inputs missing: hard failure, no output left behind.
+    const CliResult nothing = runCli(
+        PTH_TOOL_CAMPAIGN_MERGE,
+        {"/nonexistent/s0.jsonl", "-o", out + ".none"});
+    EXPECT_EQ(nothing.exit, 1);
+    EXPECT_NE(nothing.err.find("no readable input journal"),
+              std::string::npos);
+    EXPECT_TRUE(readFile(out + ".none").empty());
+
+    std::remove(a.c_str());
+    std::remove(out.c_str());
+}
+
+TEST(CampaignMergeCli, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(runCli(PTH_TOOL_CAMPAIGN_MERGE, {}).exit, 2);
+    EXPECT_EQ(
+        runCli(PTH_TOOL_CAMPAIGN_MERGE, {"--bogus", "x.jsonl"}).exit,
+        2);
+    EXPECT_EQ(runCli(PTH_TOOL_CAMPAIGN_MERGE, {"--help"}).exit, 0);
+}
+
+// ---------------------------------------------------------------- //
+// campaign_compare                                                 //
+// ---------------------------------------------------------------- //
+
+TEST(CampaignCompareCli, ExitStatusIsTheRegressionCount)
+{
+    const std::string base = tempPath("cmp_base.jsonl");
+    const std::string same = tempPath("cmp_same.jsonl");
+    const std::string worse = tempPath("cmp_worse.jsonl");
+    const std::vector<RunResult> runs = {makeRun(0, 3), makeRun(1, 2),
+                                         makeRun(2, 0)};
+    writeJournal(base, runs);
+    writeJournal(same, runs);
+    std::vector<RunResult> regressed = runs;
+    regressed[0].flips = 1;         // fewer flips
+    regressed[1].ok = false;        // now fails
+    regressed[1].error = "boom";
+    writeJournal(worse, regressed);
+
+    EXPECT_EQ(runCli(PTH_TOOL_CAMPAIGN_COMPARE, {base, same}).exit, 0);
+    const CliResult result =
+        runCli(PTH_TOOL_CAMPAIGN_COMPARE, {base, worse});
+    EXPECT_EQ(result.exit, 2) << result.out;
+    EXPECT_NE(result.out.find("2 regressed"), std::string::npos)
+        << result.out;
+    EXPECT_NE(result.out.find("REGRESSION"), std::string::npos);
+
+    std::remove(base.c_str());
+    std::remove(same.c_str());
+    std::remove(worse.c_str());
+}
+
+TEST(CampaignCompareCli, BadArtifactsAndCorruptLinesAreSurfaced)
+{
+    const std::string good = tempPath("cmp_good.jsonl");
+    writeJournal(good, {makeRun(0, 1)});
+
+    EXPECT_EQ(runCli(PTH_TOOL_CAMPAIGN_COMPARE,
+                     {"/nonexistent/a.jsonl", good})
+                  .exit,
+              2);
+    EXPECT_EQ(runCli(PTH_TOOL_CAMPAIGN_COMPARE, {good}).exit, 2);
+
+    // A torn line warns but does not fail the comparison.
+    const std::string torn = tempPath("cmp_torn.jsonl");
+    {
+        std::ofstream os(torn, std::ios::trunc);
+        os << ResultStore::serialize(makeRun(0, 1), 100) << '\n';
+        os << "{{{\n";
+    }
+    const CliResult result =
+        runCli(PTH_TOOL_CAMPAIGN_COMPARE, {good, torn});
+    EXPECT_EQ(result.exit, 0) << result.err;
+    EXPECT_NE(result.err.find("skipped 1 corrupt journal line(s)"),
+              std::string::npos)
+        << result.err;
+
+    std::remove(good.c_str());
+    std::remove(torn.c_str());
+}
+
+// ---------------------------------------------------------------- //
+// campaign_query                                                   //
+// ---------------------------------------------------------------- //
+
+TEST(CampaignQueryCli, FiltersGroupsAndFoldsArtifacts)
+{
+    const std::string a = tempPath("query_a.jsonl");
+    const std::string b = tempPath("query_b.jsonl");
+    std::vector<RunResult> runs = {makeRun(0, 1), makeRun(1, 0)};
+    runs[1].defense = "trr";
+    writeJournal(a, runs);
+    writeJournal(b, {makeRun(1, 5)}); // supersedes run 1
+
+    CliResult result = runCli(PTH_TOOL_CAMPAIGN_QUERY, {a, b});
+    EXPECT_EQ(result.exit, 0) << result.err;
+    EXPECT_NE(result.out.find("2 run(s) selected of 2 indexed"),
+              std::string::npos)
+        << result.out;
+    EXPECT_NE(result.out.find("1 superseded"), std::string::npos);
+
+    result = runCli(PTH_TOOL_CAMPAIGN_QUERY,
+                    {a, "--filter", "defense=trr"});
+    EXPECT_EQ(result.exit, 0);
+    EXPECT_NE(result.out.find("cli1"), std::string::npos);
+    EXPECT_EQ(result.out.find("cli0"), std::string::npos)
+        << result.out;
+    EXPECT_NE(result.out.find("1 run(s) selected of 2"),
+              std::string::npos);
+
+    result = runCli(PTH_TOOL_CAMPAIGN_QUERY,
+                    {a, "--group-by", "defense"});
+    EXPECT_EQ(result.exit, 0);
+    EXPECT_NE(result.out.find("none"), std::string::npos);
+    EXPECT_NE(result.out.find("trr"), std::string::npos);
+
+    EXPECT_EQ(runCli(PTH_TOOL_CAMPAIGN_QUERY,
+                     {a, "--filter", "bogus=1"})
+                  .exit,
+              2);
+    EXPECT_EQ(runCli(PTH_TOOL_CAMPAIGN_QUERY,
+                     {a, "--group-by", "bogus"})
+                  .exit,
+              2);
+    EXPECT_EQ(runCli(PTH_TOOL_CAMPAIGN_QUERY, {}).exit, 2);
+
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(CampaignQueryCli, TrendSharesTheCompareRegressionRules)
+{
+    const std::string base = tempPath("trend_base.jsonl");
+    const std::string worse = tempPath("trend_worse.jsonl");
+    writeJournal(base, {makeRun(0, 3)});
+    std::vector<RunResult> regressed = {makeRun(0, 1)};
+    writeJournal(worse, regressed);
+
+    const CliResult result = runCli(
+        PTH_TOOL_CAMPAIGN_QUERY, {"--trend", base, worse});
+    EXPECT_EQ(result.exit, 1) << result.out;
+    EXPECT_NE(result.out.find("1 regressed"), std::string::npos)
+        << result.out;
+    EXPECT_EQ(
+        runCli(PTH_TOOL_CAMPAIGN_QUERY, {"--trend", base, base}).exit,
+        0);
+    // --trend needs exactly two artifacts.
+    EXPECT_EQ(
+        runCli(PTH_TOOL_CAMPAIGN_QUERY, {"--trend", base}).exit, 2);
+
+    std::remove(base.c_str());
+    std::remove(worse.c_str());
+}
+
+// ---------------------------------------------------------------- //
+// campaign_ctl                                                     //
+// ---------------------------------------------------------------- //
+
+TEST(CampaignCtlCli, UsageAndManifestErrorsExitTwo)
+{
+    EXPECT_EQ(runCli(PTH_TOOL_CAMPAIGN_CTL, {"--help"}).exit, 0);
+    EXPECT_EQ(runCli(PTH_TOOL_CAMPAIGN_CTL, {}).exit, 2);
+    EXPECT_EQ(runCli(PTH_TOOL_CAMPAIGN_CTL,
+                     {"/nonexistent/manifest.json"})
+                  .exit,
+              2);
+
+    const std::string manifest = tempPath("ctl_bad.json");
+    {
+        std::ofstream os(manifest, std::ios::trunc);
+        os << R"({"campaigns": [{"name": "a", "program": "x",
+                  "shardz": 2}]})";
+    }
+    const CliResult result =
+        runCli(PTH_TOOL_CAMPAIGN_CTL, {manifest});
+    EXPECT_EQ(result.exit, 2);
+    EXPECT_NE(result.err.find("unknown key"), std::string::npos)
+        << result.err;
+
+    // --inject-kill must name a shard the manifest actually has.
+    const std::string ok = tempPath("ctl_ok.json");
+    {
+        std::ofstream os(ok, std::ios::trunc);
+        os << R"({"campaigns": [{"name": "a", "program": "/bin/true",
+                  "shards": 2}]})";
+    }
+    const CliResult inject = runCli(
+        PTH_TOOL_CAMPAIGN_CTL, {ok, "--inject-kill", "a/7"});
+    EXPECT_EQ(inject.exit, 2);
+    EXPECT_NE(inject.err.find("names no shard"), std::string::npos)
+        << inject.err;
+
+    std::remove(manifest.c_str());
+    std::remove(ok.c_str());
+}
+
+TEST(CampaignCtlCli, PermanentWorkerDeathYieldsNonzeroExit)
+{
+    const std::string outDir = testing::TempDir() + "pth_cli_ctl";
+    ::system(("mkdir -p \"" + outDir + "\"").c_str());
+    const std::string manifest = tempPath("ctl_dead.json");
+    {
+        std::ofstream os(manifest, std::ios::trunc);
+        os << R"({"campaigns": [{"name": "dead",
+                  "program": "/nonexistent/bench"}]})";
+    }
+    const CliResult result = runCli(
+        PTH_TOOL_CAMPAIGN_CTL,
+        {manifest, "--out", outDir, "--fresh", "--quiet"});
+    EXPECT_EQ(result.exit, 1) << result.err;
+    EXPECT_NE(result.err.find("campaign dead failed"),
+              std::string::npos)
+        << result.err;
+    EXPECT_NE(result.err.find("1 of 1 campaign(s) failed"),
+              std::string::npos);
+    EXPECT_NE(result.out.find("FAILED"), std::string::npos)
+        << result.out;
+    std::remove(manifest.c_str());
+}
+
+} // namespace
+} // namespace pth

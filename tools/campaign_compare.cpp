@@ -16,216 +16,44 @@
  *
  *   campaign_compare baseline.json current.json [--all]
  *                    [--tolerance PCT]
+ *
+ * The comparison itself — artifact sniffing, run matching, regression
+ * criteria, the delta table — lives in harness/journal_index so
+ * campaign_query --trend answers with exactly the same judgement.
  */
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "common/json.hh"
 #include "common/table.hh"
-#include "harness/result_store.hh"
+#include "harness/journal_index.hh"
+
+using namespace pth;
 
 namespace
 {
 
-using namespace pth;
-
-/** One comparable run record, from either artifact format. */
-struct Run
-{
-    std::size_t index = 0;
-    std::string label;
-    bool ok = true;
-    bool flipped = false;
-    bool escalated = false;
-    std::uint64_t flips = 0;
-    std::uint64_t attempts = 0;
-    double simSeconds = 0;
-    double timeToFlipMinutes = 0;
-    std::vector<std::pair<std::string, double>> metrics;
-};
-
-Run
-fromResult(const RunResult &r)
-{
-    Run run;
-    run.index = r.index;
-    run.label = r.label;
-    run.ok = r.ok;
-    run.flipped = r.flipped;
-    run.escalated = r.escalated;
-    run.flips = r.flips;
-    run.attempts = r.attempts;
-    run.simSeconds = r.simSeconds;
-    run.timeToFlipMinutes = r.report.timeToFirstFlipMinutes;
-    run.metrics = r.metrics;
-    return run;
-}
-
-/** Parse one object of a report's "runs" array. */
-bool
-fromReportObject(const JsonValue &obj, Run &run)
-{
-    if (!obj.isObject())
-        return false;
-    const JsonValue *label = obj.find("label");
-    const JsonValue *index = obj.find("index");
-    if (!label || !label->isString() || !index)
-        return false;
-    run.index = index->asU64();
-    run.label = label->asString();
-    if (const JsonValue *v = obj.find("ok"))
-        run.ok = v->asBool(true);
-    if (const JsonValue *v = obj.find("flipped"))
-        run.flipped = v->asBool();
-    if (const JsonValue *v = obj.find("escalated"))
-        run.escalated = v->asBool();
-    if (const JsonValue *v = obj.find("flips"))
-        run.flips = v->asU64();
-    if (const JsonValue *v = obj.find("attempts"))
-        run.attempts = v->asU64();
-    if (const JsonValue *v = obj.find("sim_seconds"))
-        run.simSeconds = v->asDouble();
-    if (const JsonValue *v = obj.find("time_to_flip_minutes"))
-        run.timeToFlipMinutes = v->asDouble();
-    if (const JsonValue *metrics = obj.find("metrics"))
-        for (const auto &member : metrics->members())
-            run.metrics.emplace_back(member.first,
-                                     member.second.asDouble());
-    return true;
-}
-
 /**
- * Load a campaign artifact: a JSON report (object with "runs") or a
- * JSONL journal. Returns false when the file is unreadable or holds
- * no parsable run at all.
+ * Load one artifact into its own index, with campaign_compare's
+ * stderr reporting: unreadable/empty artifacts say why, torn journals
+ * say how many lines were dropped.
  */
 bool
-loadRuns(const std::string &path, std::vector<Run> &out)
+loadArtifact(const std::string &path, JournalIndex &index)
 {
-    std::ifstream in(path);
-    if (!in) {
-        std::fprintf(stderr, "cannot read %s\n", path.c_str());
-        return false;
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
-
-    JsonValue doc;
-    if (JsonValue::parse(text, doc) && doc.isObject() &&
-        doc.find("runs")) {
-        for (const JsonValue &obj : doc.find("runs")->items()) {
-            Run run;
-            if (fromReportObject(obj, run))
-                out.push_back(std::move(run));
-        }
-        if (out.empty())
-            std::fprintf(stderr,
-                         "%s: campaign report contains no runs\n",
-                         path.c_str());
-        return !out.empty();
-    }
-
-    // Journal: ResultStore::load already applies the skip-corrupt /
-    // last-valid-index-wins rules; a nonzero corrupt count means the
-    // journal is partial, which the comparison should say out loud.
-    std::size_t corrupt = 0;
-    for (const auto &item : ResultStore::load(path, &corrupt))
-        out.push_back(fromResult(item.second.result));
-    if (corrupt)
+    std::string error;
+    const bool ok = index.addArtifact(path, &error);
+    if (!ok)
+        std::fprintf(stderr, "%s\n", error.c_str());
+    if (index.stats().corruptLines)
         std::fprintf(stderr,
                      "%s: warning: skipped %zu corrupt journal"
                      " line(s)\n",
-                     path.c_str(), corrupt);
-    if (out.empty())
-        std::fprintf(stderr,
-                     "%s: neither a campaign report nor a journal\n",
-                     path.c_str());
-    return !out.empty();
-}
-
-/** Labels appearing more than once in either artifact. */
-std::set<std::string>
-duplicatedLabels(const std::vector<Run> &a, const std::vector<Run> &b)
-{
-    std::map<std::string, unsigned> uses;
-    for (const Run &run : a)
-        ++uses[run.label];
-    for (const Run &run : b)
-        ++uses[run.label];
-    std::set<std::string> duplicated;
-    for (const auto &item : uses)
-        if (item.second > 1)
-            duplicated.insert(item.first);
-    return duplicated;
-}
-
-/**
- * Key runs by label, appending the index for labels duplicated in
- * either artifact — both sides must disambiguate the same way or a
- * label that repeats on one side only would never match the other.
- */
-std::map<std::string, const Run *>
-keyByLabel(const std::vector<Run> &runs,
-           const std::set<std::string> &duplicated)
-{
-    std::map<std::string, const Run *> keyed;
-    for (const Run &run : runs) {
-        std::string key = duplicated.count(run.label)
-                              ? run.label + strfmt("#%zu", run.index)
-                              : run.label;
-        keyed[key] = &run;
-    }
-    return keyed;
-}
-
-/**
- * Equality at the JSON report's precision: reports render doubles
- * with %.9g while journals keep all 17 digits, so a journal and the
- * report of the same campaign differ below ~1e-9 relative. Treat
- * that as equal rather than flagging phantom deltas.
- */
-bool
-sameValue(double a, double b)
-{
-    if (a == b)
-        return true;
-    const double scale = std::max(std::fabs(a), std::fabs(b));
-    return std::fabs(a - b) <= 1e-8 * scale;
-}
-
-bool
-sameMetrics(const std::vector<std::pair<std::string, double>> &a,
-            const std::vector<std::pair<std::string, double>> &b)
-{
-    if (a.size() != b.size())
-        return false;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        if (a[i].first != b[i].first ||
-            !sameValue(a[i].second, b[i].second))
-            return false;
-    return true;
-}
-
-std::string
-deltaCell(double base, double current)
-{
-    if (sameValue(base, current))
-        return "=";
-    const double delta = current - base;
-    if (base != 0)
-        return strfmt("%+.3g (%+.1f%%)", delta, 100.0 * delta / base);
-    return strfmt("%+.3g", delta);
+                     path.c_str(), index.stats().corruptLines);
+    return ok;
 }
 
 } // namespace
@@ -245,15 +73,15 @@ main(int argc, char **argv)
 
     std::vector<std::string> paths;
     bool showAll = false;
-    double tolerancePct = 10.0;
+    RunDiffOptions options;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--all")) {
             showAll = true;
         } else if (!std::strcmp(argv[i], "--tolerance") &&
                    i + 1 < argc) {
-            tolerancePct = std::strtod(argv[++i], nullptr);
+            options.tolerancePct = std::strtod(argv[++i], nullptr);
         } else if (!std::strncmp(argv[i], "--tolerance=", 12)) {
-            tolerancePct = std::strtod(argv[i] + 12, nullptr);
+            options.tolerancePct = std::strtod(argv[i] + 12, nullptr);
         } else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             std::fputs(usage, stdout);
@@ -271,102 +99,29 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::vector<Run> baseline;
-    std::vector<Run> current;
-    if (!loadRuns(paths[0], baseline) || !loadRuns(paths[1], current))
+    // One index per artifact: each side deduplicates internally
+    // (last-wins by run index) but baseline and current never
+    // supersede each other.
+    JournalIndex baseline;
+    JournalIndex current;
+    if (!loadArtifact(paths[0], baseline) ||
+        !loadArtifact(paths[1], current))
         return 2;
 
-    const std::set<std::string> duplicated =
-        duplicatedLabels(baseline, current);
-    auto baseByLabel = keyByLabel(baseline, duplicated);
-    auto curByLabel = keyByLabel(current, duplicated);
-
-    Table table({"Run", "Flips (base -> cur)", "Sim seconds delta",
-                 "Time-to-flip delta", "Status"});
-    unsigned regressions = 0;
-    unsigned improvements = 0;
-    unsigned unchanged = 0;
-    unsigned added = 0;
-    unsigned removed = 0;
-
-    for (const auto &item : baseByLabel) {
-        const Run &b = *item.second;
-        auto match = curByLabel.find(item.first);
-        if (match == curByLabel.end()) {
-            ++removed;
-            table.addRow({item.first, "-", "-", "-", "REMOVED"});
-            continue;
-        }
-        const Run &c = *match->second;
-
-        const bool worseOk = b.ok && !c.ok;
-        const bool worseFlip = b.flipped && !c.flipped;
-        const bool worseEsc = b.escalated && !c.escalated;
-        const bool fewerFlips = c.flips < b.flips;
-        const bool slower =
-            b.simSeconds > 0 &&
-            c.simSeconds >
-                b.simSeconds * (1.0 + tolerancePct / 100.0);
-        const bool regressed =
-            worseOk || worseFlip || worseEsc || fewerFlips || slower;
-
-        const bool identical =
-            b.ok == c.ok && b.flipped == c.flipped &&
-            b.escalated == c.escalated && b.flips == c.flips &&
-            b.attempts == c.attempts &&
-            sameValue(b.simSeconds, c.simSeconds) &&
-            sameValue(b.timeToFlipMinutes, c.timeToFlipMinutes) &&
-            sameMetrics(b.metrics, c.metrics);
-
-        std::string status;
-        if (regressed) {
-            ++regressions;
-            status = "REGRESSION";
-            if (worseOk)
-                status += " (now fails)";
-            else if (worseFlip)
-                status += " (no flip)";
-            else if (worseEsc)
-                status += " (no escalation)";
-            else if (fewerFlips)
-                status += " (fewer flips)";
-            else
-                status += " (slower)";
-        } else if (identical) {
-            ++unchanged;
-            if (!showAll)
-                continue;
-            status = "unchanged";
-        } else {
-            ++improvements;
-            status = "changed";
-        }
-
-        table.addRow(
-            {item.first,
-             strfmt("%llu -> %llu",
-                    static_cast<unsigned long long>(b.flips),
-                    static_cast<unsigned long long>(c.flips)),
-             deltaCell(b.simSeconds, c.simSeconds),
-             deltaCell(b.timeToFlipMinutes, c.timeToFlipMinutes),
-             status});
-    }
-    for (const auto &item : curByLabel) {
-        if (baseByLabel.count(item.first))
-            continue;
-        ++added;
-        table.addRow({item.first, "-", "-", "-", "ADDED"});
-    }
+    const RunDiff diff =
+        diffRuns(baseline.runs(), current.runs(), options);
 
     std::printf("== campaign_compare: %s -> %s ==\n", paths[0].c_str(),
                 paths[1].c_str());
-    table.print();
+    diffTable(diff, showAll).print();
     std::printf("\n%zu baseline runs, %zu current: %u unchanged,"
                 " %u changed, %u regressed, %u added, %u removed"
                 " (tolerance %.1f%% sim-time)\n",
-                baseline.size(), current.size(), unchanged,
-                improvements, regressions, added, removed,
-                tolerancePct);
+                baseline.size(), current.size(), diff.unchanged,
+                diff.changed, diff.regressions, diff.added,
+                diff.removed, options.tolerancePct);
 
-    return regressions > 255 ? 255 : static_cast<int>(regressions);
+    return diff.regressions > 255
+               ? 255
+               : static_cast<int>(diff.regressions);
 }

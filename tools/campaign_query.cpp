@@ -1,0 +1,192 @@
+/**
+ * @file
+ * campaign_query: ask questions of stored campaign results.
+ *
+ * Loads any mix of result-store journals and campaign JSON reports
+ * into one index (later artifacts supersede earlier ones per run
+ * index, exactly like ResultStore::merge), then answers:
+ *
+ *   campaign_query runs.jsonl                        per-run listing
+ *   campaign_query runs.jsonl --filter defense=none  AND-filtering
+ *   campaign_query runs.jsonl --group-by strategy    aggregation
+ *   campaign_query --trend base.json cur.jsonl       regression diff
+ *
+ * Filter/group axes: label, machine (alias preset), defense,
+ * strategy, seed, dram-model. --trend shares campaign_compare's
+ * diff engine (harness/journal_index), so both tools agree on what
+ * counts as a regression; its exit status is the regression count.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "harness/journal_index.hh"
+
+using namespace pth;
+
+namespace
+{
+
+/** Filter-aware selection of every indexed run. */
+std::vector<const IndexedRun *>
+selectRuns(const JournalIndex &index,
+           const std::vector<JournalIndex::Filter> &filters)
+{
+    return index.select(filters);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *usage =
+        "usage: campaign_query ARTIFACT... [--filter AXIS=VALUE]...\n"
+        "                      [--group-by AXIS]\n"
+        "       campaign_query --trend BASELINE CURRENT\n"
+        "                      [--filter AXIS=VALUE]... [--all]\n"
+        "                      [--tolerance PCT]\n"
+        "  ARTIFACT        campaign JSON report (--json=...) or\n"
+        "                  result-store journal; several artifacts\n"
+        "                  fold together last-wins, like"
+        " campaign_merge\n"
+        "  --filter AXIS=VALUE  keep only matching runs (repeatable,"
+        " ANDed);\n"
+        "                  axes: label, machine (preset), defense,\n"
+        "                  strategy, seed, dram-model\n"
+        "  --group-by AXIS aggregate the selection per axis value\n"
+        "  --trend         diff two artifacts with campaign_compare's\n"
+        "                  regression rules; exit status = regressed"
+        " runs\n"
+        "  --all           with --trend: also list unchanged runs\n"
+        "  --tolerance PCT with --trend: sim-seconds growth tolerated"
+        " (default 10)\n";
+
+    std::vector<std::string> paths;
+    std::vector<JournalIndex::Filter> filters;
+    bool trend = false;
+    bool showAll = false;
+    bool haveGroupBy = false;
+    RunAxis groupAxis = RunAxis::Label;
+    RunDiffOptions diffOptions;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            const std::size_t n = std::strlen(flag);
+            if (!std::strncmp(arg, flag, n) && arg[n] == '=')
+                return arg + n + 1;
+            if (!std::strcmp(arg, flag) && i + 1 < argc)
+                return argv[++i];
+            return nullptr;
+        };
+        if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+            std::fputs(usage, stdout);
+            return 0;
+        } else if (!std::strcmp(arg, "--trend")) {
+            trend = true;
+        } else if (!std::strcmp(arg, "--all")) {
+            showAll = true;
+        } else if (const char *v = value("--filter")) {
+            JournalIndex::Filter filter;
+            std::string error;
+            if (!JournalIndex::parseFilter(v, filter, &error)) {
+                std::fprintf(stderr, "campaign_query: %s\n",
+                             error.c_str());
+                return 2;
+            }
+            filters.push_back(std::move(filter));
+        } else if (const char *v = value("--group-by")) {
+            if (!parseRunAxis(v, groupAxis)) {
+                std::fprintf(stderr,
+                             "campaign_query: unknown axis '%s' (use"
+                             " label, machine, defense, strategy,"
+                             " seed or dram-model)\n",
+                             v);
+                return 2;
+            }
+            haveGroupBy = true;
+        } else if (const char *v = value("--tolerance")) {
+            diffOptions.tolerancePct = std::strtod(v, nullptr);
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown argument '%s'\n%s", arg,
+                         usage);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (trend) {
+        if (paths.size() != 2 || haveGroupBy) {
+            std::fputs(usage, stderr);
+            return 2;
+        }
+        JournalIndex baseline;
+        JournalIndex current;
+        std::string error;
+        if (!baseline.addArtifact(paths[0], &error)) {
+            std::fprintf(stderr, "campaign_query: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        if (!current.addArtifact(paths[1], &error)) {
+            std::fprintf(stderr, "campaign_query: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        const RunDiff diff =
+            diffRuns(selectRuns(baseline, filters),
+                     selectRuns(current, filters), diffOptions);
+        std::printf("== campaign_query trend: %s -> %s ==\n",
+                    paths[0].c_str(), paths[1].c_str());
+        diffTable(diff, showAll).print();
+        std::printf("\n%u unchanged, %u changed, %u regressed,"
+                    " %u added, %u removed (tolerance %.1f%%"
+                    " sim-time)\n",
+                    diff.unchanged, diff.changed, diff.regressions,
+                    diff.added, diff.removed,
+                    diffOptions.tolerancePct);
+        return diff.regressions > 255
+                   ? 255
+                   : static_cast<int>(diff.regressions);
+    }
+
+    if (paths.empty()) {
+        std::fputs(usage, stderr);
+        return 2;
+    }
+    JournalIndex index;
+    for (const std::string &path : paths) {
+        std::string error;
+        if (!index.addArtifact(path, &error)) {
+            std::fprintf(stderr, "campaign_query: %s\n",
+                         error.c_str());
+            return 2;
+        }
+    }
+    const JournalIndex::LoadStats &stats = index.stats();
+    if (stats.corruptLines)
+        std::fprintf(stderr,
+                     "warning: skipped %zu corrupt journal line(s)\n",
+                     stats.corruptLines);
+
+    const std::vector<const IndexedRun *> selection =
+        selectRuns(index, filters);
+    if (haveGroupBy) {
+        JournalIndex::groupTable(
+            JournalIndex::groupBy(selection, groupAxis), groupAxis)
+            .print();
+    } else {
+        JournalIndex::runTable(selection).print();
+    }
+    std::printf("\n%zu run(s) selected of %zu indexed (%u journal(s),"
+                " %u report(s), %zu superseded)\n",
+                selection.size(), index.size(), stats.journals,
+                stats.reports, stats.superseded);
+    return 0;
+}
