@@ -29,7 +29,7 @@ std::uint64_t
 Cache::stateHash() const
 {
     std::uint64_t h = hashCombine(0x5ca1e, nHits);
-    h = hashCombine(h, nMisses);
+    h = hashCombine(h, nMisses, policy->stateHash());
     for (const Line &line : lines)
         h = hashCombine(h, line.valid ? line.tag | (1ull << 63) : 0);
     return h;

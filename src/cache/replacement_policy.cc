@@ -83,6 +83,15 @@ LruPolicy::clone() const
     return std::make_unique<LruPolicy>(*this);
 }
 
+std::uint64_t
+LruPolicy::stateHash() const
+{
+    std::uint64_t h = hashCombine(0x12c0, ways, tick);
+    for (std::uint64_t stamp : stamps)
+        h = hashCombine(h, stamp);
+    return h;
+}
+
 TreePlruPolicy::TreePlruPolicy(std::uint64_t sets, unsigned ways_)
     : ways(ways_)
 {
@@ -147,6 +156,15 @@ TreePlruPolicy::clone() const
     return std::make_unique<TreePlruPolicy>(*this);
 }
 
+std::uint64_t
+TreePlruPolicy::stateHash() const
+{
+    std::uint64_t h = hashCombine(0x92e9, ways, treeWays);
+    for (std::uint8_t bit : bits)
+        h = hashCombine(h, bit);
+    return h;
+}
+
 NruPolicy::NruPolicy(std::uint64_t sets, unsigned ways_, std::uint64_t seed)
     : ways(ways_), refBits(sets * ways_, 0), rng(seed)
 {
@@ -193,6 +211,15 @@ std::unique_ptr<ReplacementPolicy>
 NruPolicy::clone() const
 {
     return std::make_unique<NruPolicy>(*this);
+}
+
+std::uint64_t
+NruPolicy::stateHash() const
+{
+    std::uint64_t h = hashCombine(0x9eb, ways, rng.stateHash());
+    for (std::uint8_t bit : refBits)
+        h = hashCombine(h, bit);
+    return h;
 }
 
 AgingPolicy::AgingPolicy(std::uint64_t sets, unsigned ways_,
@@ -264,6 +291,15 @@ AgingPolicy::clone() const
     return std::make_unique<AgingPolicy>(*this);
 }
 
+std::uint64_t
+AgingPolicy::stateHash() const
+{
+    std::uint64_t h = hashCombine(0xa917, ways, rng.stateHash());
+    for (std::uint8_t age : ages)
+        h = hashCombine(h, age);
+    return h;
+}
+
 RandomPolicy::RandomPolicy(unsigned ways_, std::uint64_t seed)
     : ways(ways_), rng(seed)
 {
@@ -289,6 +325,12 @@ std::unique_ptr<ReplacementPolicy>
 RandomPolicy::clone() const
 {
     return std::make_unique<RandomPolicy>(*this);
+}
+
+std::uint64_t
+RandomPolicy::stateHash() const
+{
+    return hashCombine(0x9a2d, ways, rng.stateHash());
 }
 
 } // namespace pth

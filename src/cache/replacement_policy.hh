@@ -53,6 +53,15 @@ class ReplacementPolicy
      */
     virtual std::unique_ptr<ReplacementPolicy> clone() const = 0;
 
+    /**
+     * Digest of the replacement metadata (age stamps, tree bits,
+     * reference bits, RNG position). Folded into Cache/Tlb stateHash
+     * so two structures with equal fingerprints also agree on every
+     * future victim choice — without this, snapshot audits could pass
+     * on states that replay differently.
+     */
+    virtual std::uint64_t stateHash() const = 0;
+
     /** Factory. */
     static std::unique_ptr<ReplacementPolicy> create(
         ReplacementKind kind, std::uint64_t sets, unsigned ways,
@@ -69,6 +78,7 @@ class LruPolicy : public ReplacementPolicy
     void insert(std::uint64_t set, unsigned way) override;
     unsigned victim(std::uint64_t set) override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    std::uint64_t stateHash() const override;
 
   private:
     unsigned ways;
@@ -90,6 +100,7 @@ class TreePlruPolicy : public ReplacementPolicy
     void insert(std::uint64_t set, unsigned way) override;
     unsigned victim(std::uint64_t set) override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    std::uint64_t stateHash() const override;
 
   private:
     void updatePath(std::uint64_t set, unsigned way);
@@ -117,6 +128,7 @@ class NruPolicy : public ReplacementPolicy
     void insert(std::uint64_t set, unsigned way) override;
     unsigned victim(std::uint64_t set) override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    std::uint64_t stateHash() const override;
 
   private:
     unsigned ways;
@@ -142,6 +154,7 @@ class AgingPolicy : public ReplacementPolicy
     void insert(std::uint64_t set, unsigned way) override;
     unsigned victim(std::uint64_t set) override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    std::uint64_t stateHash() const override;
 
   private:
     static constexpr std::uint8_t touchAge = 4;
@@ -163,6 +176,7 @@ class RandomPolicy : public ReplacementPolicy
     void insert(std::uint64_t set, unsigned way) override;
     unsigned victim(std::uint64_t set) override;
     std::unique_ptr<ReplacementPolicy> clone() const override;
+    std::uint64_t stateHash() const override;
 
   private:
     unsigned ways;

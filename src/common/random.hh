@@ -82,6 +82,18 @@ class Rng
                    (1.0 / 9007199254740992.0) < p;
     }
 
+    /**
+     * Digest of the generator position. Two generators with equal
+     * hashes produce the same draw sequence, so any consumer folding
+     * this into a state fingerprint pins its future randomness
+     * (Machine snapshot audits).
+     */
+    std::uint64_t
+    stateHash() const
+    {
+        return hashCombine(0x96e9, s0, s1);
+    }
+
   private:
     std::uint64_t s0;
     std::uint64_t s1;

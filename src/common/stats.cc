@@ -95,7 +95,7 @@ Histogram::quantile(double q) const
         return 0.0;
     std::vector<double> sorted(raw);
     std::sort(sorted.begin(), sorted.end());
-    double pos = q * (sorted.size() - 1);
+    double pos = q * static_cast<double>(sorted.size() - 1);
     std::size_t base = static_cast<std::size_t>(pos);
     double frac = pos - static_cast<double>(base);
     if (base + 1 >= sorted.size())

@@ -29,7 +29,7 @@ std::uint64_t
 Dram::stateHash() const
 {
     std::uint64_t h = hashCombine(0xd7a3, activations, rowHits);
-    h = hashCombine(h, flipsInjected);
+    h = hashCombine(h, flipsInjected, model->stateHash());
     for (const BankState &bank : bankState)
         h = hashCombine(h, bank.open, bank.openRow);
     for (const FlipEvent &flip : pendingFlips) {

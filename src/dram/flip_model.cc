@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 
 namespace pth
 {
@@ -109,7 +110,7 @@ FlipModel::onActivate(unsigned bank, std::uint64_t row, std::uint64_t epoch,
 }
 
 void
-FlipModel::bulkVictims(unsigned bank,
+FlipModel::bulkVictims(unsigned /* bank */,
                        const std::vector<std::uint64_t> &aggressors,
                        std::uint64_t actsPerWindow,
                        std::vector<Victim> &victims) const
@@ -151,6 +152,21 @@ FlipModel::reset()
 {
     for (auto &acts : bankActs)
         acts.clear();
+}
+
+std::uint64_t
+FlipModel::stateHash() const
+{
+    std::uint64_t h = hashCombine(0xf11b, rows);
+    for (std::size_t bank = 0; bank < bankActs.size(); ++bank) {
+        // determinism: commutative fold — iteration order of the
+        // unordered map cannot affect the sum.
+        std::uint64_t fold = 0;
+        for (const auto &[row, rs] : bankActs[bank])
+            fold += mix64(hashCombine(row, rs.epoch, rs.acts));
+        h = hashCombine(h, bank, fold);
+    }
+    return h;
 }
 
 // --- TRR -------------------------------------------------------------
@@ -286,6 +302,26 @@ TrrFlipModel::bulkVictims(unsigned bank,
     }
 }
 
+std::uint64_t
+TrrFlipModel::stateHash() const
+{
+    std::uint64_t h = hashCombine(FlipModel::stateHash(), 0x77f);
+    for (const BankTracker &tracker : trackers) {
+        h = hashCombine(h, tracker.epoch, tracker.entries.size());
+        for (const TrackerEntry &entry : tracker.entries)
+            h = hashCombine(h, entry.row, entry.count);
+    }
+    for (const auto &bank : refreshed) {
+        // determinism: commutative fold — iteration order of the
+        // unordered map cannot affect the sum.
+        std::uint64_t fold = 0;
+        for (const auto &[row, baseline] : bank)
+            fold += mix64(hashCombine(row, baseline.epoch, baseline.sum));
+        h = hashCombine(h, fold);
+    }
+    return h;
+}
+
 void
 TrrFlipModel::reset()
 {
@@ -333,7 +369,7 @@ Distance2FlipModel::onActivate(unsigned bank, std::uint64_t row,
 }
 
 void
-Distance2FlipModel::bulkVictims(unsigned bank,
+Distance2FlipModel::bulkVictims(unsigned /* bank */,
                                 const std::vector<std::uint64_t> &aggressors,
                                 std::uint64_t actsPerWindow,
                                 std::vector<Victim> &victims) const
@@ -407,6 +443,26 @@ EccFlipModel::onCellTripped(unsigned bank, std::uint64_t row,
     inject.insert(inject.end(), word.latent.begin(), word.latent.end());
     word.latent.clear();
     word.uncorrectable = true;
+}
+
+std::uint64_t
+EccFlipModel::stateHash() const
+{
+    std::uint64_t h = hashCombine(FlipModel::stateHash(), 0xecc);
+    for (const auto &bank : words) {
+        // determinism: commutative fold — iteration order of the
+        // unordered map cannot affect the sum.
+        std::uint64_t fold = 0;
+        for (const auto &[key, word] : bank) {
+            std::uint64_t w = hashCombine(key, word.uncorrectable);
+            for (const Injection &cell : word.latent)
+                w = hashCombine(w, cell.byteInRow, cell.bitInByte,
+                                cell.trueCell);
+            fold += mix64(w);
+        }
+        h = hashCombine(h, fold);
+    }
+    return h;
 }
 
 void

@@ -130,6 +130,17 @@ class FlipModel
      */
     virtual std::unique_ptr<FlipModel> clone() const = 0;
 
+    /**
+     * Digest of the mutable accounting state — the per-window
+     * activation counters plus any model-specific bookkeeping
+     * (TrrFlipModel's trackers and refresh baselines, EccFlipModel's
+     * latent cells). Folded into Dram::stateHash so equal machine
+     * fingerprints also pin future flip behaviour: without it, a
+     * half-filled refresh window or a corrected-but-latent ECC error
+     * was invisible to snapshot audits.
+     */
+    virtual std::uint64_t stateHash() const;
+
   protected:
     /** Bump (bank, row)'s activation counter for the window. */
     void recordActivation(unsigned bank, std::uint64_t row,
@@ -191,6 +202,7 @@ class TrrFlipModel : public FlipModel
                      std::uint64_t actsPerWindow,
                      std::vector<Victim> &victims) const override;
     void reset() override;
+    std::uint64_t stateHash() const override;
 
     std::unique_ptr<FlipModel> clone() const override
     {
@@ -268,6 +280,7 @@ class EccFlipModel : public FlipModel
                        const WeakCell &cell,
                        std::vector<Injection> &inject) override;
     void reset() override;
+    std::uint64_t stateHash() const override;
 
     std::unique_ptr<FlipModel> clone() const override
     {

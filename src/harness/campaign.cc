@@ -191,7 +191,9 @@ makeMachineConfig(MachinePreset preset)
 unsigned
 CampaignOptions::threadsFromEnv()
 {
-    const char *env = std::getenv("PTH_THREADS");
+    // Resolved once before any workers exist; nothing writes the
+    // environment concurrently.
+    const char *env = std::getenv("PTH_THREADS"); // NOLINT(concurrency-mt-unsafe)
     if (!env)
         return 0;
     long value = std::strtol(env, nullptr, 10);

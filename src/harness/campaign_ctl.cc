@@ -253,8 +253,11 @@ spawnWorker(const std::vector<std::string> &args,
         argv.push_back(const_cast<char *>(arg.c_str()));
     argv.push_back(nullptr);
     ::execv(args[0].c_str(), argv.data());
+    // Failed-exec path of a just-forked child: single thread by
+    // construction.
     std::fprintf(stderr, "campaign_ctl: cannot exec %s: %s\n",
-                 args[0].c_str(), std::strerror(errno));
+                 args[0].c_str(),
+                 std::strerror(errno)); // NOLINT(concurrency-mt-unsafe)
     ::_exit(127);
 }
 
@@ -351,8 +354,10 @@ CampaignCtl::startTask(std::size_t taskId)
         spawnWorker(args, primary.log, /*firstAttempt=*/true);
     if (pid < 0) {
         primary.dead = true;
-        primary.error =
-            strfmt("fork failed: %s", std::strerror(errno));
+        // The orchestrator is single-threaded (fork-based fan-out).
+        primary.error = strfmt(
+            "fork failed: %s",
+            std::strerror(errno)); // NOLINT(concurrency-mt-unsafe)
         return false;
     }
     primary.spawns = 1;

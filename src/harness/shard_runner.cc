@@ -120,9 +120,11 @@ ShardRunner::spawn(unsigned shard, bool fresh,
         argv.push_back(const_cast<char *>(arg.c_str()));
     argv.push_back(nullptr);
     ::execv(options_.program.c_str(), argv.data());
+    // Failed-exec path of a just-forked child: single thread by
+    // construction.
     std::fprintf(stderr, "shard worker %u: cannot exec %s: %s\n",
                  shard, options_.program.c_str(),
-                 std::strerror(errno));
+                 std::strerror(errno)); // NOLINT(concurrency-mt-unsafe)
     ::_exit(127);
 }
 
@@ -145,8 +147,10 @@ ShardRunner::run()
         const long pid =
             spawn(w, options_.fresh, /*firstAttempt=*/true);
         if (pid < 0) {
-            report.error = strfmt("fork failed: %s",
-                                  std::strerror(errno));
+            // The dispatcher is single-threaded (fork-based fan-out).
+            report.error = strfmt(
+                "fork failed: %s",
+                std::strerror(errno)); // NOLINT(concurrency-mt-unsafe)
             continue;
         }
         report.spawns = 1;
@@ -184,8 +188,10 @@ ShardRunner::run()
                 live[next] = w;
                 continue;
             }
-            respawnError = strfmt("; respawn fork failed: %s",
-                                  std::strerror(errno));
+            // The dispatcher is single-threaded (fork-based fan-out).
+            respawnError = strfmt(
+                "; respawn fork failed: %s",
+                std::strerror(errno)); // NOLINT(concurrency-mt-unsafe)
         }
         report.ok = false;
         report.error = describeWaitStatus(status) + respawnError;

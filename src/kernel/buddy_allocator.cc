@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 
 namespace pth
 {
@@ -87,6 +88,16 @@ BuddyAllocator::contains(PhysFrame frame) const
     return frame >= first && frame < first + count;
 }
 
+std::uint64_t
+BuddyAllocator::stateHash() const
+{
+    std::uint64_t h = hashCombine(0xb0dd, first, count, nFree);
+    for (std::size_t order = 0; order < freeLists.size(); ++order)
+        for (PhysFrame frame : freeLists[order])  // std::set: ordered
+            h = hashCombine(h, order, frame);
+    return h;
+}
+
 FrameListAllocator::FrameListAllocator(std::vector<PhysFrame> frames)
 {
     for (PhysFrame f : frames) {
@@ -116,6 +127,15 @@ bool
 FrameListAllocator::contains(PhysFrame frame) const
 {
     return universe.count(frame) > 0;
+}
+
+std::uint64_t
+FrameListAllocator::stateHash() const
+{
+    std::uint64_t h = hashCombine(0xf7ee, universe.size());
+    for (PhysFrame frame : freeList)  // std::set: ordered
+        h = hashCombine(h, frame);
+    return h;
 }
 
 } // namespace pth

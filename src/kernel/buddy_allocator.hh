@@ -57,6 +57,13 @@ class BuddyAllocator
     /** First managed frame. */
     PhysFrame base() const { return first; }
 
+    /**
+     * Digest of the allocator position (free lists per order). Folded
+     * into Defense/Kernel stateHash: two allocators with equal digests
+     * hand out the same frames in the same order forever.
+     */
+    std::uint64_t stateHash() const;
+
   private:
     PhysFrame buddyOf(PhysFrame frame, unsigned order) const;
     void insertFree(PhysFrame frame, unsigned order);
@@ -87,6 +94,9 @@ class FrameListAllocator
 
     /** True when the frame belongs to this allocator's universe. */
     bool contains(PhysFrame frame) const;
+
+    /** Digest of the free list (see BuddyAllocator::stateHash). */
+    std::uint64_t stateHash() const;
 
   private:
     std::set<PhysFrame> freeList;

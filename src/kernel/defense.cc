@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "dram/address_mapping.hh"
 #include "dram/vulnerability_model.hh"
 
@@ -101,6 +102,16 @@ class CursorAllocator
         return frame >= lo && frame < hi && pred(frame);
     }
 
+    std::uint64_t
+    stateHash() const
+    {
+        std::uint64_t h = hashCombine(0xc0a5, lo, hi, cursor);
+        h = hashCombine(h, descending);
+        for (PhysFrame frame : recycled)  // std::set: ordered
+            h = hashCombine(h, frame);
+        return h;
+    }
+
   private:
     PhysFrame lo;
     PhysFrame hi;
@@ -149,6 +160,12 @@ class NoDefense : public Defense
     clone(const AddressMapping &, const VulnerabilityModel &) const override
     {
         return std::unique_ptr<Defense>(new NoDefense(*this));
+    }
+
+    std::uint64_t
+    stateHash() const override
+    {
+        return hashCombine(0xd0, pool.stateHash());
     }
 
   private:
@@ -227,6 +244,15 @@ class CattDefense : public Defense
     clone(const AddressMapping &, const VulnerabilityModel &) const override
     {
         return std::unique_ptr<Defense>(new CattDefense(*this));
+    }
+
+    std::uint64_t
+    stateHash() const override
+    {
+        std::uint64_t h = hashCombine(0xd1, kernelEnd, userStart);
+        h = hashCombine(h, warnedFallback, kernelPool->stateHash(),
+                        userPool->stateHash());
+        return h;
     }
 
   private:
@@ -340,6 +366,21 @@ class RipRhDefense : public Defense
         return std::unique_ptr<Defense>(new RipRhDefense(*this, mapping));
     }
 
+    std::uint64_t
+    stateHash() const override
+    {
+        std::uint64_t h = hashCombine(0xd2, kernelEnd, userStart);
+        h = hashCombine(h, partitions_n, userFramesPerPartition,
+                        guardFrames);
+        h = hashCombine(h, kernelPool->stateHash());
+        // determinism: commutative fold — iteration order of the
+        // unordered map cannot affect the sum.
+        std::uint64_t fold = 0;
+        for (const auto &[idx, pool] : partitions)
+            fold += mix64(hashCombine(idx, pool->stateHash()));
+        return hashCombine(h, fold);
+    }
+
   private:
     RipRhDefense(const RipRhDefense &other, const AddressMapping &mapping)
         : map(mapping), kernelEnd(other.kernelEnd),
@@ -348,6 +389,8 @@ class RipRhDefense : public Defense
           guardFrames(other.guardFrames),
           kernelPool(std::make_unique<BuddyAllocator>(*other.kernelPool))
     {
+        // determinism: copy into a fresh map — visit order does not
+        // affect the resulting container contents.
         for (const auto &item : other.partitions)
             partitions.emplace(
                 item.first,
@@ -435,6 +478,13 @@ class CtaDefense : public Defense
             new CtaDefense(*this, mapping, vulnerability));
     }
 
+    std::uint64_t
+    stateHash() const override
+    {
+        return hashCombine(0xd3, ptZoneStart, ptPool->stateHash(),
+                           mainPool->stateHash());
+    }
+
   private:
     CtaDefense(const CtaDefense &other, const AddressMapping &mapping,
                const VulnerabilityModel &vulnerability)
@@ -503,6 +553,12 @@ class ZebRamDefense : public Defense
           const VulnerabilityModel &) const override
     {
         return std::unique_ptr<Defense>(new ZebRamDefense(*this, mapping));
+    }
+
+    std::uint64_t
+    stateHash() const override
+    {
+        return hashCombine(0xd4, total, pool->stateHash());
     }
 
   private:

@@ -99,6 +99,15 @@ class Defense
         const AddressMapping &mapping,
         const VulnerabilityModel &vulnerability) const = 0;
 
+    /**
+     * Digest of the allocator state (pool free lists, cursors,
+     * recycled frames, fallback flags). Folded into Kernel::stateHash
+     * so equal machine fingerprints imply identical future frame
+     * placement — an advanced allocation cursor was previously
+     * invisible to snapshot audits.
+     */
+    virtual std::uint64_t stateHash() const = 0;
+
     /** Factory wiring a policy to the machine's DRAM layout. */
     static std::unique_ptr<Defense> create(
         DefenseKind kind, const AddressMapping &mapping,

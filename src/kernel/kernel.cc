@@ -52,6 +52,8 @@ Kernel::Kernel(const Kernel &other, PhysicalMemory &memory,
       credSlot(other.credSlot),
       burnedKernelFrames(other.burnedKernelFrames)
 {
+    // determinism: copy into a fresh map — visit order does not
+    // affect the resulting container contents.
     for (const auto &item : other.processes) {
         const Process &src = *item.second;
         auto proc = std::make_unique<Process>(src.pid_v, src.uid_v);
@@ -263,21 +265,28 @@ std::uint64_t
 Kernel::stateHash() const
 {
     std::uint64_t h = hashCombine(0x6e1, nextPid, credPage);
-    h = hashCombine(h, credSlot, burnedKernelFrames.size());
-    // Commutative combines for the unordered containers.
+    h = hashCombine(h, credSlot, policy->stateHash(), rng.stateHash());
+    for (PhysFrame frame : burnedKernelFrames)
+        h = hashCombine(h, frame);
+    // determinism: commutative folds — iteration order of the
+    // unordered maps cannot affect the sums.
     std::uint64_t frameSets = 0;
     for (const auto &item : l1ptFrames)
         frameSets += mix64(item.first);
+    // determinism: commutative fold (see above).
     for (const auto &item : credFrames)
         frameSets += mix64(~item.first);
     h = hashCombine(h, frameSets);
     std::uint64_t procs = 0;
+    // determinism: commutative fold (see above).
     for (const auto &item : processes) {
         const Process &proc = *item.second;
         std::uint64_t p = hashCombine(proc.pid_v, proc.uid_v,
                                       proc.credAddr);
         p = hashCombine(p, proc.userFrames.size(),
                         proc.tables ? proc.tables->root() + 1 : 0);
+        for (PhysFrame frame : proc.userFrames)
+            p = hashCombine(p, frame);
         procs += mix64(p);
     }
     return hashCombine(h, procs);

@@ -81,6 +81,8 @@ PhysicalMemory::contentHash() const
     // are invisible, presence changes are not behaviourally observable
     // anyway (unmaterialized pages read as zero).
     std::uint64_t h = 0;
+    // determinism: commutative fold — iteration order of the
+    // unordered map cannot affect the sum.
     for (const auto &item : pages)
         h += mix64(item.first ^ item.second.contentHash());
     return h;

@@ -24,7 +24,7 @@ Tlb::Tlb(const Tlb &other)
 std::uint64_t
 Tlb::stateHash() const
 {
-    std::uint64_t h = 0x71b;
+    std::uint64_t h = hashCombine(0x71b, policy->stateHash());
     for (const Slot &slot : slots) {
         h = hashCombine(h, slot.valid, slot.entry.vpn);
         h = hashCombine(h, slot.entry.pfn, slot.entry.huge);

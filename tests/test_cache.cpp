@@ -44,6 +44,32 @@ TEST(SliceHash, DeterministicAndInRange)
     }
 }
 
+TEST(CacheStateHash, SeesReplacementOrder)
+{
+    // Three caches end up holding the same lines with the same
+    // hit/miss counters; a and b reached them in opposite access
+    // order, so their next victims differ and the digests must too.
+    // Pins the snapshot-audit bug where Cache::stateHash ignored
+    // replacement metadata.
+    Cache a(smallCache(2), "a");
+    Cache b(smallCache(2), "b");
+    Cache c(smallCache(2), "c");
+    PhysAddr x = 0;        // set 0, tag 0
+    PhysAddr y = 16 * 64;  // set 0, tag 16
+    for (Cache *cache : {&a, &b, &c}) {
+        cache->fill(x);
+        cache->fill(y);
+    }
+    a.access(x);
+    a.access(y);
+    b.access(y);
+    b.access(x);
+    c.access(x);
+    c.access(y);
+    EXPECT_NE(a.stateHash(), b.stateHash());
+    EXPECT_EQ(a.stateHash(), c.stateHash());
+}
+
 TEST(SliceHash, SpreadsAcrossSlices)
 {
     SliceHash hash(2);

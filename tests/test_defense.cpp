@@ -44,6 +44,31 @@ class DefenseParam : public ::testing::TestWithParam<DefenseKind>
     DefenseEnv env;
 };
 
+TEST_P(DefenseParam, StateHashTracksAllocatorPosition)
+{
+    // Allocate one L1PT frame and free it again. The free-frame
+    // population is back to the starting point, but cursor-based
+    // zones (CTA's true-cell pool, ZebRAM) now sit at an advanced
+    // cursor with a recycled-frame list, so they hand out frames in a
+    // different order from a fresh defense — the digest must see
+    // that. Buddy-backed policies coalesce back to exactly the
+    // initial state and must digest equal. Pins Kernel::stateHash
+    // ignoring allocator positions.
+    auto a = Defense::create(GetParam(), *env.mapping, *env.vuln,
+                             env.frames(), 1);
+    auto b = Defense::create(GetParam(), *env.mapping, *env.vuln,
+                             env.frames(), 1);
+    ASSERT_EQ(a->stateHash(), b->stateHash());
+
+    PhysFrame f = a->alloc(AllocIntent::PageTableL1, 1);
+    ASSERT_NE(f, kInvalidFrame);
+    a->free(f, AllocIntent::PageTableL1, 1);
+    if (GetParam() == DefenseKind::Cta || GetParam() == DefenseKind::ZebRam)
+        EXPECT_NE(a->stateHash(), b->stateHash());
+    else
+        EXPECT_EQ(a->stateHash(), b->stateHash());
+}
+
 TEST_P(DefenseParam, AllocationsRespectOwnPredicate)
 {
     auto defense = Defense::create(GetParam(), *env.mapping, *env.vuln,

@@ -255,6 +255,27 @@ TEST_F(DramFixture, FlipsAreMonotoneInActivationCount)
     }
 }
 
+TEST_F(DramFixture, StateHashSeesFlipModelAccounting)
+{
+    // Identical single access, placed in different refresh windows:
+    // every visible counter matches (one activation, no row hits, the
+    // same open row), but the in-window disturbance accounting does
+    // not — replay from here flips at different activation counts.
+    // Pins Dram::stateHash ignoring FlipModel state.
+    std::uint64_t row = findRow(false);
+    PhysicalMemory memB(geometry.sizeBytes);
+    Dram other(geometry, timing, disturbance, memB);
+    PhysicalMemory memC(geometry.sizeBytes);
+    Dram same(geometry, timing, disturbance, memC);
+
+    dram->access(addrOf(0, row), 0);
+    other.access(addrOf(0, row), disturbance.refreshWindowCycles);
+    same.access(addrOf(0, row), 0);
+
+    EXPECT_NE(dram->stateHash(), other.stateHash());
+    EXPECT_EQ(dram->stateHash(), same.stateHash());
+}
+
 TEST_F(DramFixture, ResetClosesBanksAndClearsCounters)
 {
     dram->access(addrOf(0, 5), 0);

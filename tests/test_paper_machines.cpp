@@ -124,7 +124,7 @@ TEST_P(PaperMachine, DellIsSlowerThanLenovos)
         double sum = 0;
         for (Cycles t : timings)
             sum += static_cast<double>(t);
-        means.push_back(sum / timings.size());
+        means.push_back(sum / static_cast<double>(timings.size()));
     }
     EXPECT_GT(means[2], means[0]);
     EXPECT_GT(means[2], means[1]);

@@ -30,6 +30,36 @@ TEST_P(ReplacementParam, VictimAlwaysInRange)
     }
 }
 
+TEST_P(ReplacementParam, StateHashSeesMetadataAndRngPosition)
+{
+    // A clone starts digest-identical; one victim/insert round must
+    // move the digest for every kind (age stamps, tree bits, reference
+    // bits, or just the RNG position for random replacement).
+    auto policy = ReplacementPolicy::create(kind(), 4, ways(), 1);
+    auto copy = policy->clone();
+    ASSERT_EQ(policy->stateHash(), copy->stateHash());
+    unsigned v = policy->victim(0);
+    policy->insert(0, v);
+    EXPECT_NE(policy->stateHash(), copy->stateHash());
+}
+
+TEST(ReplacementStateHash, LruTouchOrderChangesDigest)
+{
+    // Same set of touched ways in opposite order: the resident lines
+    // are identical but the next victim differs, and the digest must
+    // expose that. Pins the snapshot-audit gap where replacement
+    // metadata was invisible to Cache/Tlb stateHash, so equal
+    // fingerprints could still replay differently.
+    LruPolicy a(1, 2);
+    LruPolicy b(1, 2);
+    a.touch(0, 0);
+    a.touch(0, 1);
+    b.touch(0, 1);
+    b.touch(0, 0);
+    EXPECT_NE(a.stateHash(), b.stateHash());
+    EXPECT_NE(a.victim(0), b.victim(0));
+}
+
 TEST_P(ReplacementParam, SetsAreIndependent)
 {
     auto policy = ReplacementPolicy::create(kind(), 2, ways(), 1);

@@ -68,7 +68,8 @@ countingCampaign(unsigned count, std::atomic<unsigned> *executions)
                 ++*executions;
             res.flips = res.seed * 3;
             res.flipped = true;
-            res.metrics.emplace_back("third", res.seed / 3.0);
+            res.metrics.emplace_back(
+                "third", static_cast<double>(res.seed) / 3.0);
         };
         campaign.add(spec);
     }

@@ -76,17 +76,17 @@ main(int argc, char **argv)
             options.fresh = true;
         } else if (!std::strcmp(arg, "--quiet")) {
             options.log = nullptr;
-        } else if (const char *v = value("--workers")) {
-            options.workers =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (const char *v = value("--out")) {
-            options.outDir = v;
-        } else if (const char *v = value("--max-respawns")) {
-            options.maxRespawns =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (const char *v = value("--max-reissues")) {
-            options.maxReissues =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (const char *workersArg = value("--workers")) {
+            options.workers = static_cast<unsigned>(
+                std::strtoul(workersArg, nullptr, 10));
+        } else if (const char *outArg = value("--out")) {
+            options.outDir = outArg;
+        } else if (const char *respawnsArg = value("--max-respawns")) {
+            options.maxRespawns = static_cast<unsigned>(
+                std::strtoul(respawnsArg, nullptr, 10));
+        } else if (const char *reissuesArg = value("--max-reissues")) {
+            options.maxReissues = static_cast<unsigned>(
+                std::strtoul(reissuesArg, nullptr, 10));
         } else if (const char *v = value("--inject-kill")) {
             const char *slash = std::strrchr(v, '/');
             char excess = 0;

@@ -100,18 +100,18 @@ main(int argc, char **argv)
                 return 2;
             }
             filters.push_back(std::move(filter));
-        } else if (const char *v = value("--group-by")) {
-            if (!parseRunAxis(v, groupAxis)) {
+        } else if (const char *axisArg = value("--group-by")) {
+            if (!parseRunAxis(axisArg, groupAxis)) {
                 std::fprintf(stderr,
                              "campaign_query: unknown axis '%s' (use"
                              " label, machine, defense, strategy,"
                              " seed or dram-model)\n",
-                             v);
+                             axisArg);
                 return 2;
             }
             haveGroupBy = true;
-        } else if (const char *v = value("--tolerance")) {
-            diffOptions.tolerancePct = std::strtod(v, nullptr);
+        } else if (const char *tolArg = value("--tolerance")) {
+            diffOptions.tolerancePct = std::strtod(tolArg, nullptr);
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "unknown argument '%s'\n%s", arg,
                          usage);

@@ -6,6 +6,10 @@
 2. Reproduce-table coverage: every binary CMake builds (benches,
    examples, tools) must be mentioned in README.md, so the per-binary
    reproduce table cannot silently fall behind the build.
+3. Static-analysis coverage: every lint artifact under tools/lint
+   (scripts, configs, suppression file) plus .clang-tidy must be
+   mentioned in docs/STATIC_ANALYSIS.md, so the analysis reference
+   cannot silently fall behind the lint layer.
 
 Exits nonzero (with a line per problem) when anything fails.
 """
@@ -92,8 +96,30 @@ def check_readme_table() -> list:
     return problems
 
 
+def check_static_analysis_doc() -> list:
+    doc_path = ROOT / "docs" / "STATIC_ANALYSIS.md"
+    if not doc_path.exists():
+        return ["docs/STATIC_ANALYSIS.md is missing"]
+    doc = doc_path.read_text(encoding="utf-8")
+    problems = []
+    lint_dir = ROOT / "tools" / "lint"
+    artifacts = sorted(
+        p for p in lint_dir.iterdir()
+        if p.suffix in (".py", ".json", ".supp")
+    ) + [ROOT / ".clang-tidy"]
+    for artifact in artifacts:
+        if artifact.name not in doc:
+            problems.append(
+                "docs/STATIC_ANALYSIS.md: lint artifact "
+                f"'{artifact.name}' is not documented"
+            )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_readme_table()
+    problems = (
+        check_links() + check_readme_table() + check_static_analysis_doc()
+    )
     for problem in problems:
         print(problem)
     if problems:

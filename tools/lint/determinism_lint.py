@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Determinism lint: sources of run-to-run divergence.
+
+The repo's core contract is byte-identical reports for identical specs
+across serial, threaded, sharded and forked execution. This lint flags
+the classic ways C++ code silently breaks that:
+
+  * iteration over std::unordered_{map,set,...} — bucket order is
+    implementation- and run-dependent (it depends on the pointer
+    values and insertion history), so any loop whose effect is
+    order-sensitive (building a report row, folding a non-commutative
+    hash, picking "the first" element) diverges between runs. Every
+    such loop must either be rewritten over an ordered container or
+    carry a `// determinism: <why order cannot matter>` annotation;
+  * rand()/srand()/std::random_device — unseeded or global-state
+    randomness (the seeded pth::Rng is the only sanctioned source);
+  * time()/localtime()/gmtime()/clock() feeding values into results —
+    wall-clock state makes reports differ between runs;
+  * formatting pointer values (%p, streaming a void*) — ASLR makes
+    pointer text differ between runs.
+
+Annotations: the flagged line, or one of the 3 lines above it, must
+contain `determinism:` followed by a non-empty justification.
+
+Usage: determinism_lint.py [--root ROOT] [--config CONFIG]
+Exit 0 clean, 1 findings, 2 config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import cpp_model  # noqa: E402
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+DECL_NAME = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<(?:[^<>]|<(?:[^<>]|"
+    r"<[^<>]*>)*>)*>\s*&?\s*([A-Za-z_]\w*)\s*[;={(,)]")
+RANGE_FOR = re.compile(
+    r"\bfor\s*\(\s*[^;()]*?:\s*([A-Za-z_][\w.\->\[\]]*)\s*\)")
+ANNOTATION = re.compile(r"determinism:\s*\S")
+
+# (pattern, needs_strings, message): rules marked needs_strings run
+# against a comment-stripped line with string literals kept, because
+# the pattern only ever occurs inside format strings.
+CALL_RULES = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), False,
+     "rand()/srand(): unseeded global-state randomness; use the "
+     "seeded pth::Rng"),
+    (re.compile(r"\brandom_device\b"), False,
+     "std::random_device: nondeterministic entropy source; use the "
+     "seeded pth::Rng"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|0|nullptr)?\s*\)"), False,
+     "time(): wall clock feeding simulation or report state"),
+    (re.compile(r"\b(?:localtime|gmtime|ctime|asctime)\s*\("), False,
+     "calendar time: wall clock feeding simulation or report state"),
+    (re.compile(r"%p[^\w%]"), True,
+     "%p formats a pointer value; ASLR makes it differ between runs"),
+    (re.compile(r"<<\s*(?:static_cast<\s*(?:const\s+)?void\s*\*\s*>|"
+                r"\(\s*(?:const\s+)?void\s*\*\s*\))"), False,
+     "streaming a pointer value; ASLR makes it differ between runs"),
+]
+
+SUFFIXES = {".cc", ".cpp", ".hh", ".hpp"}
+
+
+def last_component(expr: str) -> str:
+    """`other.processes` -> processes; `bankActs[bank]` -> bankActs."""
+    expr = re.sub(r"\[[^\]]*\]", "", expr)
+    for sep in (".", "->"):
+        if sep in expr:
+            expr = expr.rsplit(sep, 1)[1]
+    return expr.strip()
+
+
+def strip_comments_keep_strings(text: str) -> str:
+    """Blank out // and /* */ comments only, leaving string literals
+    intact, so rules matching inside format strings (%p) still see
+    them while commentary about them stays exempt."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            while i < n and not (text[i] == "*" and i + 1 < n and
+                                 text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and text[i] != quote:
+                out.append(text[i])
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i + 1])
+                    i += 1
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def annotated(lines: list, idx: int) -> bool:
+    for back in range(0, 4):
+        if idx - back < 0:
+            break
+        if ANNOTATION.search(lines[idx - back]):
+            return True
+    return False
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root",
+                    default=str(Path(__file__).resolve().parents[2]))
+    ap.add_argument("--config",
+                    default=str(Path(__file__).parent /
+                                "determinism_lint.json"))
+    args = ap.parse_args()
+    root = Path(args.root)
+    try:
+        config = json.loads(Path(args.config).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"determinism_lint: bad config: {exc}", file=sys.stderr)
+        return 2
+
+    scan_dirs = config.get("scan", ["src", "tools", "bench"])
+    exclude = [root / e for e in config.get("exclude", [])]
+
+    files = []
+    for d in scan_dirs:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SUFFIXES:
+                continue
+            if any(ex in path.parents or ex == path for ex in exclude):
+                continue
+            files.append(path)
+
+    # Pass 1: every identifier declared anywhere as an unordered
+    # container (locals, members, parameters). Name-level matching is
+    # deliberately conservative: a same-named ordered container in
+    # another file still needs an annotation, which is cheap and keeps
+    # the lint single-pass.
+    unordered_names = set()
+    texts = {}
+    for path in files:
+        raw = path.read_text()
+        texts[path] = raw
+        stripped = cpp_model.strip_comments(raw)
+        for m in DECL_NAME.finditer(stripped):
+            unordered_names.add(m.group(1))
+
+    errors = []
+    for path in files:
+        raw = texts[path]
+        stripped = cpp_model.strip_comments(raw)
+        with_strings = strip_comments_keep_strings(raw)
+        raw_lines = raw.splitlines()
+        for lineno, (stripped_line, strings_line) in enumerate(
+                zip(stripped.splitlines(), with_strings.splitlines()),
+                start=1):
+            rel = path.relative_to(root)
+            for m in RANGE_FOR.finditer(stripped_line):
+                name = last_component(m.group(1))
+                if name not in unordered_names:
+                    continue
+                if annotated(raw_lines, lineno - 1):
+                    continue
+                errors.append(
+                    f"{rel}:{lineno}: iteration over unordered "
+                    f"container '{name}' — bucket order differs "
+                    f"between runs. Use an ordered container, sort "
+                    f"first, or annotate the loop with "
+                    f"'// determinism: <why order cannot matter>'.")
+            for pattern, needs_strings, why in CALL_RULES:
+                haystack = strings_line if needs_strings else stripped_line
+                if pattern.search(haystack) and \
+                        not annotated(raw_lines, lineno - 1):
+                    errors.append(f"{rel}:{lineno}: {why}")
+
+    if errors:
+        print(f"determinism_lint: {len(errors)} finding(s):")
+        for err in errors:
+            print(f"  - {err}")
+        return 1
+    print(f"determinism_lint: OK ({len(files)} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+// Seeded violations for determinism_lint: one per rule.
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <random>
+#include <unordered_map>
+
+std::unordered_map<int, int> table;
+
+int
+sumTable()
+{
+    int total = 0;
+    for (const auto &item : table)
+        total += item.second;
+    return total;
+}
+
+int
+noise()
+{
+    std::random_device rd;
+    return rand() + static_cast<int>(rd());
+}
+
+void
+stamp()
+{
+    std::time_t now = time(nullptr);
+    std::printf("%s %p\n", ctime(&now), static_cast<void *>(&table));
+    std::cout << static_cast<const void *>(&table) << "\n";
+}

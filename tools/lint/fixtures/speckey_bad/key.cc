@@ -1,0 +1,13 @@
+#include "spec.hh"
+
+#include <cstdint>
+
+std::uint64_t
+specKeyF(const RunSpecF &spec, const ExecOptsF &opts)
+{
+    std::uint64_t h = spec.seed;
+    for (char c : spec.machine)
+        h = h * 131 + static_cast<unsigned char>(c);
+    h = h * 131 + static_cast<std::uint64_t>(opts.threads);
+    return h;
+}

@@ -1,0 +1,18 @@
+// Seeded violations: RunSpecF.hammerReps is never folded into the
+// key (collision), and ExecOptsF.threads leaks INTO the key (the same
+// run would stop resuming when the thread count changes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+struct RunSpecF {
+    std::string machine;
+    std::uint64_t seed = 0;
+    std::uint64_t hammerReps = 0;
+};
+
+struct ExecOptsF {
+    int threads = 1;
+    std::string journalPath;
+};

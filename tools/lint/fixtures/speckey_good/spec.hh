@@ -1,0 +1,18 @@
+// Clean fixture: every spec field is keyed (or allowlisted with a
+// reason) and no execution axis appears in the key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+struct RunSpecF {
+    std::string machine;
+    std::uint64_t seed = 0;
+    std::uint64_t hammerReps = 0;
+    std::string note;
+};
+
+struct ExecOptsF {
+    int threads = 1;
+    std::string journalPath;
+};

@@ -1,0 +1,15 @@
+#include "widget.hh"
+
+Widget::Widget(const Widget &other)
+    : slots(other.slots), cursor(other.cursor), label(other.label)
+{
+}
+
+std::uint64_t
+Widget::stateHash() const
+{
+    std::uint64_t h = cursor;
+    for (std::uint64_t slot : slots)
+        h = h * 31 + slot;
+    return h;
+}

@@ -1,0 +1,21 @@
+// Clean fixture: every member is referenced by both aspects or
+// carries an allowlist entry with a reason (scratch is a transient
+// buffer rebuilt on demand, label is display-only).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+class Widget {
+public:
+    Widget() = default;
+    Widget(const Widget &other);
+    std::uint64_t stateHash() const;
+
+private:
+    std::vector<std::uint64_t> slots;
+    std::uint64_t cursor = 0;
+    std::vector<std::uint64_t> scratch;
+    std::string label;
+};

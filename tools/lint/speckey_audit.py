@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Spec-key coverage audit for the campaign journal.
+
+The JSONL journal resumes a campaign by matching each run's
+content-addressed spec key. Two failure modes threaten that contract:
+
+  * a RunSpec / AttackConfig field that specKey() forgets — two
+    different runs collide on one key and resume silently serves the
+    wrong result;
+  * a CampaignOptions execution axis that leaks INTO the key — the
+    same logical run stops resuming when the user changes thread
+    count, sharding or journal path, even though reports are
+    byte-identical across those axes.
+
+This audit extracts the fields of RunSpec, AttackConfig (and its
+nested PoolBuildOptions) and CampaignOptions and checks them against
+the specKey() implementation: spec-side fields must be referenced (or
+allowlisted with a reason), execution-side fields must NOT be.
+
+Usage: speckey_audit.py [--config CONFIG] [--root ROOT]
+Exit 0 clean, 1 findings, 2 config/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import cpp_model  # noqa: E402
+from state_audit import function_text  # noqa: E402
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--config",
+                    default=str(Path(__file__).parent /
+                                "speckey_audit.json"))
+    ap.add_argument("--root",
+                    default=str(Path(__file__).resolve().parents[2]))
+    args = ap.parse_args()
+
+    root = Path(args.root)
+    try:
+        config = json.loads(Path(args.config).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"speckey_audit: bad config: {exc}", file=sys.stderr)
+        return 2
+
+    key_conf = config["key_function"]
+    try:
+        key_text = function_text((root / key_conf["file"]).read_text(),
+                                 key_conf["anchor"],
+                                 key_conf.get("after"))
+    except (OSError, ValueError) as exc:
+        print(f"speckey_audit: {exc}", file=sys.stderr)
+        return 2
+
+    errors = []
+
+    def check_struct(spec: dict, must_reference: bool) -> None:
+        path = root / spec["header"]
+        try:
+            model = cpp_model.extract_members(path.read_text(),
+                                              spec["name"])
+        except (OSError, ValueError) as exc:
+            errors.append(f"{spec['name']}: cannot extract members: {exc}")
+            return
+        allow = spec.get("allow", {})
+        for member in model.members:
+            referenced = re.search(
+                r"\b" + re.escape(member.name) + r"\b", key_text)
+            if member.name in allow:
+                if not str(allow[member.name]).strip():
+                    errors.append(f"{spec['name']}.{member.name}: "
+                                  f"allowlist entry has an empty reason")
+                continue
+            if must_reference and not referenced:
+                errors.append(
+                    f"{spec['name']}.{member.name} "
+                    f"({spec['header']}:{member.line}) is not folded "
+                    f"into specKey — journal entries for runs differing "
+                    f"only in this field would collide. Key it, or "
+                    f"allowlist it with a reason.")
+            if not must_reference and referenced:
+                errors.append(
+                    f"{spec['name']}.{member.name} "
+                    f"({spec['header']}:{member.line}) is an execution "
+                    f"axis but appears in specKey — the same logical "
+                    f"run would stop resuming across {member.name} "
+                    f"changes. Remove it, or allowlist it with a "
+                    f"reason.")
+        for name in allow:
+            if name not in {m.name for m in model.members}:
+                errors.append(f"{spec['name']}: allowlist names unknown "
+                              f"member '{name}' — remove the stale entry")
+
+    for spec in config["keyed_structs"]:
+        check_struct(spec, must_reference=True)
+    for spec in config["execution_structs"]:
+        check_struct(spec, must_reference=False)
+
+    if errors:
+        print(f"speckey_audit: {len(errors)} finding(s):")
+        for err in errors:
+            print(f"  - {err}")
+        return 1
+    total = len(config["keyed_structs"]) + len(config["execution_structs"])
+    print(f"speckey_audit: OK ({total} structs audited)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

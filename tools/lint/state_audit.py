@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""State-coverage audit for snapshot/fork components.
+
+For every class listed in state_audit.json, this lint extracts the
+class's data members from its header (or defining .cc for
+anonymous-namespace classes) and demands that each member is
+referenced by
+
+  * the class's copy implementation (copy constructor or the function
+    the config points at), and
+  * the class's state digest (stateHash / stateFingerprint /
+    contentHash).
+
+A member that is deliberately excluded — a transient scratch buffer, an
+immutable config, a reference rewired at construction — must carry an
+explicit allowlist entry with a non-empty reason. Unused allowlist
+entries fail the audit too, so the list cannot rot.
+
+Why this exists: the campaign layer's whole determinism contract rests
+on "equal stateFingerprint => byte-identical replay". Every member
+added to a snapshotted component but forgotten in clone() or
+stateHash() silently weakens that contract (this audit was introduced
+together with fixes for exactly such gaps in the replacement policies,
+flip models and defense allocators).
+
+Usage: state_audit.py [--config CONFIG] [--root REPO_ROOT]
+Exit status 0 when clean, 1 on findings, 2 on configuration/parse
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import cpp_model  # noqa: E402
+
+
+def function_text(text: str, anchor: str, after: str | None) -> str:
+    """Definition text from `anchor` through the end of its brace block,
+    including any constructor init list."""
+    stripped = cpp_model.strip_comments(text)
+    start = 0
+    if after:
+        start = stripped.find(after)
+        if start < 0:
+            raise ValueError(f"context not found: {after}")
+    idx = stripped.find(anchor, start)
+    if idx < 0:
+        raise ValueError(f"definition not found: {anchor}")
+    # The body is the first brace at parenthesis depth 0 — braces
+    # inside the parameter list or constructor init list (lambda
+    # bodies, braced arguments) must not be mistaken for it.
+    paren = 0
+    brace = -1
+    for i in range(idx, len(stripped)):
+        c = stripped[i]
+        if c == "(":
+            paren += 1
+        elif c == ")":
+            paren -= 1
+        elif c == "{":
+            if paren == 0:
+                brace = i
+                break
+        elif c == ";" and paren == 0:
+            raise ValueError(f"no body for: {anchor}")
+    if brace < 0:
+        raise ValueError(f"no body for: {anchor}")
+    depth = 1
+    i = brace + 1
+    while i < len(stripped) and depth:
+        if stripped[i] == "{":
+            depth += 1
+        elif stripped[i] == "}":
+            depth -= 1
+        i += 1
+    if depth:
+        raise ValueError(f"unbalanced body: {anchor}")
+    return stripped[idx:i]
+
+
+def references(text: str, name: str) -> bool:
+    return re.search(r"\b" + re.escape(name) + r"\b", text) is not None
+
+
+def audit_class(root: Path, spec: dict, errors: list) -> None:
+    name = spec["name"]
+    header = root / spec["header"]
+    try:
+        model = cpp_model.extract_members(header.read_text(), name)
+    except (OSError, ValueError) as exc:
+        errors.append(f"{name}: cannot extract members: {exc}")
+        return
+
+    allow = spec.get("allow", {})
+    used_allow = set()
+
+    aspects = []
+    for aspect in ("copy", "hash"):
+        conf = spec.get(aspect)
+        if conf is None:
+            reason = spec.get(f"{aspect}_exempt", "")
+            if not reason.strip():
+                errors.append(
+                    f"{name}: no '{aspect}' function configured and no "
+                    f"'{aspect}_exempt' reason given")
+            continue
+        path = root / conf["file"]
+        try:
+            text = function_text(path.read_text(), conf["anchor"],
+                                 conf.get("after"))
+        except (OSError, ValueError) as exc:
+            errors.append(f"{name}: {aspect}: {exc}")
+            continue
+        aspects.append((aspect, conf, text))
+
+    if not model.members and not allow:
+        return
+
+    for member in model.members:
+        for aspect, conf, text in aspects:
+            entry = allow.get(member.name, {})
+            if aspect in entry:
+                used_allow.add((member.name, aspect))
+                if not str(entry[aspect]).strip():
+                    errors.append(
+                        f"{name}.{member.name}: allowlist entry for "
+                        f"'{aspect}' has an empty reason")
+                continue
+            if not references(text, member.name):
+                errors.append(
+                    f"{name}.{member.name} "
+                    f"({spec['header']}:{member.line}) is not referenced "
+                    f"by the {aspect} implementation "
+                    f"({conf['file']}, anchor '{conf['anchor']}'). "
+                    f"Reference it, or allowlist it with a reason.")
+
+    member_names = {m.name for m in model.members}
+    for member_name, entry in allow.items():
+        if member_name not in member_names:
+            errors.append(
+                f"{name}: allowlist names unknown member "
+                f"'{member_name}' — remove the stale entry")
+            continue
+        for aspect in entry:
+            if aspect not in ("copy", "hash"):
+                errors.append(
+                    f"{name}.{member_name}: unknown allowlist aspect "
+                    f"'{aspect}'")
+            elif (member_name, aspect) not in used_allow and \
+                    spec.get(aspect) is not None:
+                # The aspect was audited and the entry keyed it: it was
+                # consumed above. Reaching here means the aspect is
+                # configured but the entry went unused (cannot happen
+                # unless the member also matched), so nothing to do.
+                pass
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--config",
+                    default=str(Path(__file__).parent / "state_audit.json"))
+    ap.add_argument("--root", default=str(
+        Path(__file__).resolve().parents[2]))
+    args = ap.parse_args()
+
+    root = Path(args.root)
+    try:
+        config = json.loads(Path(args.config).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"state_audit: bad config: {exc}", file=sys.stderr)
+        return 2
+
+    errors: list = []
+    for spec in config["classes"]:
+        audit_class(root, spec, errors)
+
+    if errors:
+        print(f"state_audit: {len(errors)} finding(s):")
+        for err in errors:
+            print(f"  - {err}")
+        return 1
+    print(f"state_audit: OK ({len(config['classes'])} classes audited)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
