@@ -8,7 +8,7 @@
 #include "attack/pool_build.hh"
 #include "common/logging.hh"
 #include "cpu/machine.hh"
-#include "harness/thread_pool.hh"
+#include "common/thread_pool.hh"
 
 namespace pth
 {

@@ -16,7 +16,8 @@
  * hierarchy + DRAM replica addressed with the buffer's real physical
  * addresses, with a per-class noise stream and cycle counter — so
  * classes share no mutable state and extraction parallelizes across
- * the harness ThreadPool with a deterministic index-ordered merge:
+ * the shared ThreadPool (common/) with a deterministic index-ordered
+ * merge:
  * the built pool is byte-identical serial vs. multi-threaded, the
  * same contract the campaign runner guarantees for whole runs.
  */

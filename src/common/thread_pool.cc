@@ -1,4 +1,4 @@
-#include "harness/thread_pool.hh"
+#include "common/thread_pool.hh"
 
 #include <algorithm>
 
@@ -23,12 +23,12 @@ void
 ThreadPool::shutdown()
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         if (stopping)
             return;
         stopping = true;
     }
-    cv.notify_all();
+    cv.notifyAll();
     for (std::thread &worker : workers)
         worker.join();
     workers.clear();
@@ -40,8 +40,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mtx);
-            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            MutexLock lock(mtx);
+            while (!stopping && queue.empty())
+                cv.wait(mtx);
             if (queue.empty())
                 return;  // stopping, and nothing left to drain
             task = std::move(queue.front());

@@ -11,20 +11,32 @@
  * a checkpointing campaign may journal a few more runs than its
  * caller ever sees when it aborts early (rethrow): those runs are
  * not lost, a resume picks them up.
+ *
+ * Lives in common/ (not harness/): the attack layer's parallel
+ * eviction-pool extraction uses it too, and the subsystem include DAG
+ * (tools/lint/layering_lint.py) forbids attack → harness includes.
+ *
+ * Lock discipline (enforced by -DPTH_THREAD_SAFETY=ON): the task
+ * queue and the stopping flag are guarded by mtx; the workers vector
+ * and the thread count are owner-thread state — the constructing
+ * thread alone spawns, joins and clears workers, worker threads never
+ * touch them. Concurrent submit()/shutdown() from other threads is
+ * supported; concurrent shutdown()/shutdown() is the owner's job to
+ * avoid, like concurrent destruction.
  */
 
-#ifndef PTH_HARNESS_THREAD_POOL_HH
-#define PTH_HARNESS_THREAD_POOL_HH
+#ifndef PTH_COMMON_THREAD_POOL_HH
+#define PTH_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace pth
 {
@@ -65,19 +77,21 @@ class ThreadPool
             std::make_shared<std::packaged_task<R()>>(std::move(f));
         std::future<R> result = task->get_future();
         {
-            std::lock_guard<std::mutex> lock(mtx);
+            MutexLock lock(mtx);
             if (stopping)
                 throw std::runtime_error(
                     "ThreadPool::submit after shutdown");
             queue.emplace_back([task] { (*task)(); });
         }
-        cv.notify_one();
+        cv.notifyOne();
         return result;
     }
 
     /**
      * Run every already-queued task, then join the workers.
-     * Idempotent; called by the destructor.
+     * Idempotent; called by the destructor. Owner-thread only (like
+     * destruction): two concurrent shutdown() calls would race on the
+     * join.
      */
     void shutdown();
 
@@ -85,13 +99,13 @@ class ThreadPool
     /** Worker loop: pop and run tasks until told to stop. */
     void workerLoop();
 
-    std::vector<std::thread> workers;
-    std::deque<std::function<void()>> queue;
-    std::mutex mtx;
-    std::condition_variable cv;
-    bool stopping = false;
+    std::vector<std::thread> workers; // owner thread only, see above
+    Mutex mtx;
+    CondVar cv;
+    std::deque<std::function<void()>> queue PTH_GUARDED_BY(mtx);
+    bool stopping PTH_GUARDED_BY(mtx) = false;
 };
 
 } // namespace pth
 
-#endif // PTH_HARNESS_THREAD_POOL_HH
+#endif // PTH_COMMON_THREAD_POOL_HH

@@ -15,10 +15,10 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "cpu/machine.hh"
 #include "dram/flip_model.hh"
 #include "harness/result_store.hh"
-#include "harness/thread_pool.hh"
 
 namespace pth
 {

@@ -228,7 +228,7 @@ void
 ResultStore::record(const RunResult &result, std::uint64_t key)
 {
     std::string line = serialize(result, key);
-    std::lock_guard<std::mutex> lock(mtx_);
+    MutexLock lock(mtx_);
     out_ << line << '\n';
     out_.flush();
 }

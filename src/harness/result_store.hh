@@ -30,10 +30,10 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hh"
 #include "harness/campaign_result.hh"
 
 namespace pth
@@ -148,9 +148,9 @@ class ResultStore
                       std::string *error = nullptr);
 
   private:
-    std::string path_;
-    std::ofstream out_;
-    std::mutex mtx_;
+    const std::string path_; // immutable after construction
+    Mutex mtx_;
+    std::ofstream out_ PTH_GUARDED_BY(mtx_);
 };
 
 } // namespace pth

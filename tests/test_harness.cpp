@@ -19,7 +19,7 @@
 #include "harness/campaign.hh"
 #include "harness/scratch_dir.hh"
 #include "harness/self_exe.hh"
-#include "harness/thread_pool.hh"
+#include "common/thread_pool.hh"
 
 namespace pth
 {
