@@ -5,12 +5,19 @@
 namespace pth
 {
 
-ThreadPool::ThreadPool(unsigned threads)
+unsigned
+ThreadPool::resolveThreadCount(unsigned threads)
 {
     if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    workers.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i)
+        return std::max(1u, std::thread::hardware_concurrency());
+    return threads;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threadCount_(resolveThreadCount(threads))
+{
+    workers.reserve(threadCount_);
+    for (unsigned i = 0; i < threadCount_; ++i)
         workers.emplace_back([this] { workerLoop(); });
 }
 

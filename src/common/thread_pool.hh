@@ -57,11 +57,14 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Number of worker threads. */
-    unsigned threadCount() const
-    {
-        return static_cast<unsigned>(workers.size());
-    }
+    /**
+     * Number of worker threads. Immutable after construction, so it
+     * is safe to call from any thread at any time — including
+     * concurrently with shutdown(), which mutates the workers vector
+     * (the previous implementation read workers.size() here and
+     * raced exactly that).
+     */
+    unsigned threadCount() const { return threadCount_; }
 
     /**
      * Enqueue a callable; its return value or thrown exception is
@@ -99,6 +102,10 @@ class ThreadPool
     /** Worker loop: pop and run tasks until told to stop. */
     void workerLoop();
 
+    /** 0 -> hardware concurrency, at least 1. */
+    static unsigned resolveThreadCount(unsigned threads);
+
+    const unsigned threadCount_;
     std::vector<std::thread> workers; // owner thread only, see above
     Mutex mtx;
     CondVar cv;
