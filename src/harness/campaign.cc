@@ -6,7 +6,6 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -14,6 +13,7 @@
 #include "attack/pthammer.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/sync.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "cpu/machine.hh"
@@ -375,15 +375,21 @@ Campaign::run(const CampaignOptions &options) const
     std::vector<char> cached(n, 0);
 
     // Snapshot sharing: runs resolving to the same MachineConfig fork
-    // one warm machine, built by whichever run of the group executes
-    // first (call_once also serializes racing pool workers).
+    // one warm machine, built under the slot mutex by whichever run
+    // of the group executes first. A mutex-guarded lazy init rather
+    // than std::call_once: the thread-safety analysis cannot see
+    // through once_flag (snap would be read unprovably-unlocked), and
+    // the semantics are identical — racing workers serialize, a build
+    // that throws leaves snap empty so the next group member retries.
+    // Once built, the snapshot is immutable; handing the raw pointer
+    // out of the lock is safe because run() outlives the pool.
     std::vector<MachineConfig> derivedConfigs;
     const std::vector<int> groups =
         sharePlan(options.reuseMachines, &derivedConfigs);
     struct SnapshotSlot
     {
-        std::once_flag once;
-        std::unique_ptr<MachineSnapshot> snap;
+        Mutex mtx;
+        std::unique_ptr<MachineSnapshot> snap PTH_GUARDED_BY(mtx);
     };
     int nGroups = 0;
     for (int g : groups)
@@ -399,10 +405,10 @@ Campaign::run(const CampaignOptions &options) const
         if (group < 0)
             return nullptr;
         SnapshotSlot &slot = *slots[static_cast<std::size_t>(group)];
-        std::call_once(slot.once, [&] {
+        MutexLock lock(slot.mtx);
+        if (!slot.snap)
             slot.snap = std::make_unique<MachineSnapshot>(
                 std::make_unique<Machine>(derivedConfigs[i]));
-        });
         return slot.snap.get();
     };
 
