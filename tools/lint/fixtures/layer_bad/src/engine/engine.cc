@@ -1,0 +1,14 @@
+// Seeded violations for layering_lint.py (never compiled):
+//   * the include of "ui/ui.hh" points upward — engine sits below ui
+//     in the fixture's layer order and has no allowlist entry;
+//   * src/rogue/ is a subsystem directory missing from the layer
+//     order entirely;
+//   * the fixture config allowlists an include in core.hh that does
+//     not exist — the stale entry must fail too.
+#include "core/core.hh"
+#include "ui/ui.hh"
+
+void tick()
+{
+    drawEverything();
+}

@@ -1,0 +1,6 @@
+// A subsystem directory absent from the configured layer order —
+// layering_lint must demand it be placed in the DAG (never compiled).
+#ifndef LAYER_BAD_ROGUE_HH
+#define LAYER_BAD_ROGUE_HH
+void sneak();
+#endif

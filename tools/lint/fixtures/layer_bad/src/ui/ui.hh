@@ -1,0 +1,5 @@
+// Top layer of the layering_lint fixture tree (never compiled).
+#ifndef LAYER_BAD_UI_HH
+#define LAYER_BAD_UI_HH
+void drawEverything();
+#endif

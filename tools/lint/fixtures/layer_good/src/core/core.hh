@@ -1,0 +1,5 @@
+// Bottom layer of the layering_lint fixture tree (never compiled).
+#ifndef LAYER_GOOD_CORE_HH
+#define LAYER_GOOD_CORE_HH
+int coreValue();
+#endif

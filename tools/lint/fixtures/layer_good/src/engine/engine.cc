@@ -1,0 +1,10 @@
+// Sanctioned patterns for layering_lint.py (never compiled): the
+// downward include is always fine, and the one upward include carries
+// a reasoned allowlist entry in the fixture config.
+#include "core/core.hh"
+#include "ui/ui.hh"
+
+void tick()
+{
+    drawEverything();
+}

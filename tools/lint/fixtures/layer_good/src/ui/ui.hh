@@ -1,0 +1,5 @@
+// Top layer of the layering_lint fixture tree (never compiled).
+#ifndef LAYER_GOOD_UI_HH
+#define LAYER_GOOD_UI_HH
+void drawEverything();
+#endif

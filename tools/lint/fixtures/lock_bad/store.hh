@@ -1,0 +1,26 @@
+// Seeded violations for lock_audit.py (never compiled):
+//   * mtx_ is a raw std::mutex — invisible to the thread-safety
+//     analysis; the audit demands the annotated pth::Mutex wrapper;
+//   * lines_ shares the class with a mutex but carries no
+//     PTH_GUARDED_BY annotation, is not atomic and not const;
+//   * the fixture config allowlists 'BadStore.gone_', a member that
+//     does not exist — the stale entry must fail too.
+#ifndef LOCK_BAD_STORE_HH
+#define LOCK_BAD_STORE_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+class BadStore
+{
+  public:
+    void put(const std::string &line);
+    std::size_t size() const;
+
+  private:
+    std::mutex mtx_;
+    std::vector<std::string> lines_;
+};
+
+#endif // LOCK_BAD_STORE_HH

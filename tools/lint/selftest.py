@@ -62,6 +62,21 @@ CASES = [
         "streaming a pointer",
     ]),
     ("determinism_lint.py", "det_good", 0, ["determinism_lint: OK"]),
+    ("lock_audit.py", "lock_bad", 1, [
+        "3 finding(s)",
+        "BadStore.mtx_ is a raw std::mutex",
+        "BadStore.lines_",
+        "not PTH_GUARDED_BY-annotated",
+        "'BadStore.gone_' went unused",
+    ]),
+    ("lock_audit.py", "lock_good", 0, ["lock_audit: OK"]),
+    ("layering_lint.py", "layer_bad", 1, [
+        "3 finding(s)",
+        "rogue/ is not in the configured layer order",
+        "upward include \"ui/ui.hh\"",
+        "went unused",
+    ]),
+    ("layering_lint.py", "layer_good", 0, ["layering_lint: OK"]),
 ]
 
 
