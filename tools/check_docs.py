@@ -113,6 +113,16 @@ def check_static_analysis_doc() -> list:
                 "docs/STATIC_ANALYSIS.md: lint artifact "
                 f"'{artifact.name}' is not documented"
             )
+    # The thread-safety annotation layer is analysis configuration in
+    # the same sense as the lint configs: the macros, the annotated
+    # sync wrappers and the CMake gate must stay documented.
+    for required in ("thread_annotations.hh", "sync.hh",
+                     "PTH_THREAD_SAFETY"):
+        if required not in doc:
+            problems.append(
+                "docs/STATIC_ANALYSIS.md: thread-safety artifact "
+                f"'{required}' is not documented"
+            )
     return problems
 
 
