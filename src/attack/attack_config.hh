@@ -145,6 +145,17 @@ struct AttackConfig
     /** Processes to spawn for the CTA cred-spray (Section IV-G3). */
     unsigned credSprayProcesses = 0;
 
+    /** Multi-hart runs: harts reserved for co-tenant (noisy-neighbor)
+     * victim traffic instead of hammering. Clamped so at least one
+     * hart always hammers. */
+    unsigned victimHarts = 0;
+
+    /** Pages in each victim hart's private working set. */
+    unsigned victimTrafficPages = 64;
+
+    /** Victim loads issued per interleaver slot. */
+    unsigned victimAccessesPerSlot = 8;
+
     std::uint64_t seed = 0xa77acc;
 
     /** Attacker virtual address-space layout. */

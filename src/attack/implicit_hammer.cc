@@ -12,9 +12,11 @@ ImplicitHammer::ImplicitHammer(Machine &machine, const AttackConfig &config)
 }
 
 Cycles
-ImplicitHammer::iteration(const HammerPair &pair, unsigned &dramFetches)
+ImplicitHammer::iteration(const HammerPair &pair, unsigned &dramFetches,
+                          unsigned hart)
 {
     Cycles start = m.clock().now();
+    Cpu &cpu = m.cpu(hart);
 
     // Evict both TLB entries and both L1PTE lines. The four streams
     // are independent loads, so they overlap (accessBatch).
@@ -25,13 +27,13 @@ ImplicitHammer::iteration(const HammerPair &pair, unsigned &dramFetches)
     stream.insert(stream.end(), pair.tlbSet2.begin(), pair.tlbSet2.end());
     stream.insert(stream.end(), pair.llcSet1.begin(), pair.llcSet1.end());
     stream.insert(stream.end(), pair.llcSet2.begin(), pair.llcSet2.end());
-    m.cpu().accessBatch(stream);
+    cpu.accessBatch(stream);
 
     // Touch the two targets: TLB miss -> PDE-cache hit -> L1PTE fetch
     // from DRAM. These two are dependent on the eviction completing,
     // so they are charged at full latency.
-    AccessOutcome a1 = m.cpu().access(pair.va1);
-    AccessOutcome a2 = m.cpu().access(pair.va2);
+    AccessOutcome a1 = cpu.access(pair.va1);
+    AccessOutcome a2 = cpu.access(pair.va2);
     if (a1.l1pteFromDram)
         ++dramFetches;
     if (a2.l1pteFromDram)

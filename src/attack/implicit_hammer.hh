@@ -45,8 +45,11 @@ class ImplicitHammer
   public:
     ImplicitHammer(Machine &machine, const AttackConfig &config);
 
-    /** One fully-detailed double-sided iteration; returns its cost. */
-    Cycles iteration(const HammerPair &pair, unsigned &dramFetches);
+    /** One fully-detailed double-sided iteration; returns its cost.
+     * @param hart Hart the iteration executes on (its CPU/TLB/L1);
+     *        the default is hart 0, the single-hart behaviour. */
+    Cycles iteration(const HammerPair &pair, unsigned &dramFetches,
+                     unsigned hart = 0);
 
     /**
      * Hammer the pair for the configured number of iterations

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Multi-hart interleaved implicit hammering: aggressor harts drive
+ * PThammer-style page-walk evictions concurrently while victim harts
+ * generate co-tenant (noisy-neighbor) traffic through the shared
+ * L2/LLC.
+ *
+ * Execution is deterministic: a seeded Interleaver merges the harts'
+ * access streams into one global clock order, so every multi-hart run
+ * replays byte-identically. The detailed phase interleaves real
+ * micro-architectural iterations (each hart on its own TLB/L1, all
+ * contending in L2/LLC/DRAM); the analytic bulk phase then models the
+ * cores running in parallel — one round per wall-clock `max` of the
+ * per-hart iteration costs — so per-hart activation rates stack at the
+ * banks the way interleaved multi-thread hammer patterns do on real
+ * machines. Aggressor pairs are picked bank-synchronized (the most
+ * populated bank first): many aggressor rows in one bank are what
+ * overwhelm a TRR-style tracker.
+ */
+
+#ifndef PTH_ATTACK_MULTI_HAMMER_HH
+#define PTH_ATTACK_MULTI_HAMMER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/attack_config.hh"
+#include "attack/pair_finder.hh"
+#include "cpu/interleaver.hh"
+
+namespace pth
+{
+
+class Machine;
+
+/** What one multi-hart hammering run produced. */
+struct MultiHartHammerResult
+{
+    unsigned aggressors = 0;   //!< harts that hammered a pair
+    unsigned victims = 0;      //!< harts that ran co-tenant traffic
+    std::uint64_t iterationsPerHart = 0;
+    Cycles totalCycles = 0;
+
+    /** Modelled parallel cost of one round (every aggressor hart
+     * completing one iteration): max over harts of the measured mean
+     * iteration cost. */
+    double meanRoundCycles = 0;
+
+    /** Aggressor-row activations per refresh window summed over all
+     * harts — the stacked rate the banks see. */
+    double stackedActsPerWindow = 0;
+
+    std::uint64_t flips = 0;
+    std::uint64_t victimAccesses = 0;
+    double victimMeanLatency = 0;  //!< cycles, under attack pressure
+};
+
+/** The multi-hart hammer. Requires a prepared PThammerAttack: hart 0
+ * must already run the attacker process (prepare() installs it). */
+class MultiHartHammer
+{
+  public:
+    MultiHartHammer(Machine &machine, const AttackConfig &config,
+                    InterleaveMode mode, std::uint64_t interleaveSeed);
+
+    /**
+     * Draw candidate pairs from the finder and return up to
+     * maxPairs of them, bank-synchronized: pairs whose PTE rows share
+     * the most-populated bank first, so the aggressor rows concentrate
+     * where their activation rates stack.
+     */
+    std::vector<HammerPair> selectPairs(PairFinder &finder,
+                                        unsigned maxPairs);
+
+    /**
+     * Hammer pairs[i] from aggressor hart i (one pair per hart,
+     * clamped to the machine's hart count minus the victim harts)
+     * while the configured victim harts run interleaved traffic.
+     */
+    MultiHartHammerResult run(const std::vector<HammerPair> &pairs,
+                              std::uint64_t iterationsPerHart);
+
+  private:
+    Machine &m;
+    const AttackConfig &cfg;
+    InterleaveMode mode;
+    std::uint64_t seed;
+};
+
+} // namespace pth
+
+#endif // PTH_ATTACK_MULTI_HAMMER_HH

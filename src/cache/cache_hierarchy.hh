@@ -1,16 +1,21 @@
 /**
  * @file
- * Three-level inclusive cache hierarchy (L1D, L2, sliced LLC) in front
- * of DRAM. The LLC is inclusive: evicting an LLC line back-invalidates
- * it from L1 and L2, which is why an unprivileged LLC eviction set is
- * enough to force the next PTE fetch to DRAM — the property PThammer
- * depends on (Section III-D of the paper).
+ * Three-level inclusive cache hierarchy (per-hart L1D, shared L2,
+ * sliced LLC) in front of DRAM. The LLC is inclusive: evicting an LLC
+ * line back-invalidates it from every L1 and the L2, which is why an
+ * unprivileged LLC eviction set is enough to force the next PTE fetch
+ * to DRAM — the property PThammer depends on (Section III-D of the
+ * paper). With more than one hart, each hart owns a private L1 while
+ * L2/LLC are shared, so one hart's evictions are visible to every
+ * other hart at those levels — the coupling multi-hart interleaved
+ * hammering and noisy-neighbor scenarios exercise.
  */
 
 #ifndef PTH_CACHE_CACHE_HIERARCHY_HH
 #define PTH_CACHE_CACHE_HIERARCHY_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "cache/cache_config.hh"
@@ -37,44 +42,61 @@ struct MemAccessResult
 class CacheHierarchy
 {
   public:
-    CacheHierarchy(const CacheHierarchyConfig &config, Dram &dram);
+    /** @param harts Number of private L1Ds to build (one per hart). */
+    CacheHierarchy(const CacheHierarchyConfig &config, Dram &dram,
+                   unsigned harts = 1);
 
     /** Deep copy rewired to a new Dram (Machine snapshot/fork): all
-     * three levels, replacement state, and the LLC-miss counter. */
+     * levels (every hart's L1), replacement state, and the LLC-miss
+     * counter. */
     CacheHierarchy(const CacheHierarchy &other, Dram &dram);
 
     /**
-     * Read or write the line holding pa at simulated time now,
-     * filling all levels on the way back.
+     * Read or write the line holding pa at simulated time now through
+     * hart's private L1, filling the shared levels and that L1 on the
+     * way back.
      */
-    MemAccessResult access(PhysAddr pa, Cycles now);
+    MemAccessResult access(PhysAddr pa, Cycles now, unsigned hart = 0);
 
     /**
-     * x86 clflush: remove the line from every level.
+     * x86 clflush: remove the line from every level on every hart
+     * (the instruction is coherent machine-wide).
      * @return Constant instruction latency.
      */
     Cycles clflush(PhysAddr pa);
 
-    /** LLC misses observed (the longest_lat_cache.miss PMC event). */
-    std::uint64_t llcMisses() const { return nLlcMisses; }
-
-    /** Level accessors for tests and diagnostics. */
-    Cache &l1d() { return l1Cache; }
+    /** Level accessors for tests and diagnostics (hart 0's L1). */
+    Cache &l1d() { return l1Caches[0]; }
     Cache &l2() { return l2Cache; }
     Cache &llc() { return llcCache; }
-    const Cache &l1d() const { return l1Cache; }
+    const Cache &l1d() const { return l1Caches[0]; }
     const Cache &l2() const { return l2Cache; }
     const Cache &llc() const { return llcCache; }
+
+    /** A specific hart's private L1. */
+    Cache &l1d(unsigned hart) { return l1Caches.at(hart); }
+    const Cache &l1d(unsigned hart) const { return l1Caches.at(hart); }
+
+    /** Number of private L1s (the machine's hart count). */
+    unsigned hartCount() const
+    {
+        return static_cast<unsigned>(l1Caches.size());
+    }
+
+    /** LLC misses observed (the longest_lat_cache.miss PMC event). */
+    std::uint64_t llcMisses() const { return nLlcMisses; }
 
     /** Drop all cached lines (context-switch-free full flush). */
     void flushAll();
 
-    /** Digest of all three levels plus the LLC-miss counter
-     * (snapshot audits). */
+    /** Digest of all levels plus the LLC-miss counter (snapshot
+     * audits). Extra harts' L1s are folded after the single-hart
+     * digest, so a harts=1 hierarchy hashes byte-identically to the
+     * pre-multi-hart code. */
     std::uint64_t stateHash() const;
 
   private:
-    Cache l1Cache;
+    std::vector<Cache> l1Caches;
     Cache l2Cache;
     Cache llcCache;
     Dram &dram;

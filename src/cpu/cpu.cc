@@ -9,8 +9,9 @@ namespace pth
 {
 
 Cpu::Cpu(const MachineConfig &config, Clock &clock, Mmu &mmu,
-         CacheHierarchy &caches_, PhysicalMemory &memory)
-    : cfg(config), clk(clock), mmuRef(mmu), caches(caches_), mem(memory)
+         CacheHierarchy &caches_, PhysicalMemory &memory, unsigned hart)
+    : cfg(config), clk(clock), mmuRef(mmu), caches(caches_),
+      mem(memory), hartIndex(hart)
 {
 }
 
@@ -48,7 +49,8 @@ Cpu::access(VirtAddr va, bool write)
     }
     out.ok = true;
     out.pa = tr.pa % mem.size();
-    MemAccessResult dataAccess = caches.access(out.pa, clk.now());
+    MemAccessResult dataAccess =
+        caches.access(out.pa, clk.now(), hartIndex);
     (void)write;  // write-allocate: timing identical to a read here
     out.latency += dataAccess.latency;
     clk.advance(out.latency);
@@ -71,7 +73,7 @@ Cpu::accessBatch(const std::vector<VirtAddr> &vas)
         Cycles lat = tr.latency;
         if (tr.ok) {
             MemAccessResult dataAccess =
-                caches.access(tr.pa % mem.size(), start);
+                caches.access(tr.pa % mem.size(), start, hartIndex);
             lat += dataAccess.latency;
         }
         sum += lat;

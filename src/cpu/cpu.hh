@@ -37,8 +37,14 @@ struct AccessOutcome
 class Cpu
 {
   public:
+    /** @param hart Hart this front end executes on; timed accesses go
+     * through that hart's private L1. */
     Cpu(const MachineConfig &config, Clock &clock, Mmu &mmu,
-        CacheHierarchy &caches, PhysicalMemory &memory);
+        CacheHierarchy &caches, PhysicalMemory &memory,
+        unsigned hart = 0);
+
+    /** Hart index this CPU executes on. */
+    unsigned hart() const { return hartIndex; }
 
     /** Context switch: install a process's address space. */
     void setProcess(Process &proc);
@@ -102,6 +108,7 @@ class Cpu
     Mmu &mmuRef;
     CacheHierarchy &caches;
     PhysicalMemory &mem;
+    unsigned hartIndex;
     Process *current = nullptr;
 };
 

@@ -1,0 +1,68 @@
+#include "cpu/interleaver.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace pth
+{
+
+const char *
+interleaveModeName(InterleaveMode mode)
+{
+    return mode == InterleaveMode::RoundRobin ? "round-robin" : "seeded";
+}
+
+bool
+parseInterleaveMode(const char *text, InterleaveMode &out)
+{
+    if (!std::strcmp(text, "round-robin") || !std::strcmp(text, "rr")) {
+        out = InterleaveMode::RoundRobin;
+        return true;
+    }
+    if (!std::strcmp(text, "seeded") || !std::strcmp(text, "random")) {
+        out = InterleaveMode::Seeded;
+        return true;
+    }
+    return false;
+}
+
+Interleaver::Interleaver(InterleaveMode mode_, std::uint64_t seed,
+                         unsigned harts)
+    : mode(mode_), rng(hashCombine(0x171e41, seed))
+{
+    pth_assert(harts >= 1, "interleaver needs at least one hart");
+    active.reserve(harts);
+    for (unsigned h = 0; h < harts; ++h)
+        active.push_back(h);
+}
+
+unsigned
+Interleaver::next()
+{
+    pth_assert(!active.empty(), "no active hart to schedule");
+    if (mode == InterleaveMode::Seeded)
+        cursor = static_cast<std::size_t>(rng.below(active.size()));
+    else if (cursor >= active.size())
+        cursor = 0;
+    unsigned hart = active[cursor];
+    if (mode == InterleaveMode::RoundRobin)
+        ++cursor;
+    return hart;
+}
+
+void
+Interleaver::finish(unsigned hart)
+{
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        if (active[i] != hart)
+            continue;
+        active.erase(active.begin() +
+                     static_cast<std::ptrdiff_t>(i));
+        if (i < cursor)
+            --cursor;
+        return;
+    }
+}
+
+} // namespace pth

@@ -1,14 +1,17 @@
 /**
  * @file
  * The whole simulated machine: clock, physical memory, DRAM, caches,
- * MMU, kernel and CPU, composed from one MachineConfig. This is the
- * library's top-level entry point.
+ * kernel, and one MMU + CPU per hart, composed from one MachineConfig.
+ * Every hart owns a private L1 and a full TLB/PSC/walker stack; the
+ * L2, sliced LLC, DRAM and kernel are shared. This is the library's
+ * top-level entry point.
  */
 
 #ifndef PTH_CPU_MACHINE_HH
 #define PTH_CPU_MACHINE_HH
 
 #include <memory>
+#include <vector>
 
 #include "cache/cache_hierarchy.hh"
 #include "cpu/cpu.hh"
@@ -63,9 +66,22 @@ class Machine
     PhysicalMemory &memory() { return pmem; }
     Dram &dram() { return dramDev; }
     CacheHierarchy &caches() { return hierarchy; }
-    Mmu &mmu() { return mmuDev; }
     Kernel &kernel() { return *kern; }
-    Cpu &cpu() { return *processor; }
+
+    /** Hart 0's MMU / CPU — the single-hart machine's components, so
+     * all pre-multi-hart code keeps its meaning unchanged. */
+    Mmu &mmu() { return *mmus[0]; }
+    Cpu &cpu() { return *cpus[0]; }
+
+    /** A specific hart's MMU / CPU. */
+    Mmu &mmu(unsigned hart) { return *mmus.at(hart); }
+    Cpu &cpu(unsigned hart) { return *cpus.at(hart); }
+
+    /** Number of harts this machine hosts (MachineConfig::harts). */
+    unsigned hartCount() const
+    {
+        return static_cast<unsigned>(cpus.size());
+    }
 
     /** Simulated seconds elapsed. */
     double seconds() const { return cfg.seconds(clk.now()); }
@@ -79,9 +95,9 @@ class Machine
     PhysicalMemory pmem;
     Dram dramDev;
     CacheHierarchy hierarchy;
-    Mmu mmuDev;
+    std::vector<std::unique_ptr<Mmu>> mmus;  //!< one per hart
     std::unique_ptr<Kernel> kern;
-    std::unique_ptr<Cpu> processor;
+    std::vector<std::unique_ptr<Cpu>> cpus;  //!< one per hart
 };
 
 /**

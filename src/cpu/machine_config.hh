@@ -39,6 +39,15 @@ struct MachineConfig
     DefenseKind defense = DefenseKind::None;
 
     /**
+     * Hart (hardware thread) count. Every hart gets its own Cpu,
+     * two-level TLB/PSC stack and private L1; all harts share the L2,
+     * the sliced LLC, the DRAM device and the kernel. The default of 1
+     * replays the original single-hart machine byte-identically (the
+     * extra-hart state is folded into fingerprints only when > 1).
+     */
+    unsigned harts = 1;
+
+    /**
      * Memory-level-parallelism divisor applied to batched eviction-set
      * streams (an out-of-order core overlaps their misses; an in-order
      * additive model would be several times too slow).
@@ -101,7 +110,8 @@ operator==(const MachineConfig &a, const MachineConfig &b)
            a.dramTiming == b.dramTiming &&
            a.disturbance == b.disturbance && a.caches == b.caches &&
            a.tlb == b.tlb && a.psc == b.psc && a.kernel == b.kernel &&
-           a.defense == b.defense && a.batchOverlap == b.batchOverlap &&
+           a.defense == b.defense && a.harts == b.harts &&
+           a.batchOverlap == b.batchOverlap &&
            a.nopCycles == b.nopCycles && a.rdtscCycles == b.rdtscCycles;
 }
 

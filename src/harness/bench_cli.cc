@@ -29,7 +29,8 @@ usage(const char *prog, const char *summary)
         "usage: %s [--json[=PATH]] [--journal PATH] [--fresh]\n"
         "       %*s [--threads N] [--shard I/N] [--workers N]\n"
         "       %*s [--pool-algo A] [--pool-threads N]\n"
-        "       %*s [--dram-model M] [--cold-machines]\n\n"
+        "       %*s [--dram-model M] [--cold-machines]\n"
+        "       %*s [--harts N] [--interleave M[:SEED]]\n\n"
         "  --json[=PATH]   dump the raw campaign JSON report after\n"
         "                  the table (stdout, or clean to PATH)\n"
         "  --journal PATH  checkpoint completed runs to the JSONL\n"
@@ -61,8 +62,14 @@ usage(const char *prog, const char *summary)
         "                  machine configuration from one warm\n"
         "                  snapshot (results are identical either\n"
         "                  way; this trades setup time for isolation)\n"
+        "  --harts N       harts per machine for multi-hart benches\n"
+        "                  (default 1: exact single-hart replay)\n"
+        "  --interleave M[:SEED]  multi-hart stream merge order:\n"
+        "                  round-robin (rr, default) or seeded\n"
+        "                  (random), with an optional seed\n"
         "  --help          this text\n",
         prog, static_cast<int>(std::strlen(prog)), "",
+        static_cast<int>(std::strlen(prog)), "",
         static_cast<int>(std::strlen(prog)), "",
         static_cast<int>(std::strlen(prog)), "");
 }
@@ -199,13 +206,49 @@ BenchCli::parse(int argc, char **argv, const char *summary,
                 std::string("--dram-model=") + value);
             continue;
         }
+        if (const char *value = flagValue(argc, argv, i, "--harts")) {
+            long n = std::strtol(value, nullptr, 10);
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "%s: bad --harts '%s' (need a positive"
+                             " count)\n",
+                             argv[0], value);
+                std::exit(2);
+            }
+            cli.harts = static_cast<unsigned>(n);
+            cli.forwardArgs.push_back(std::string("--harts=") + value);
+            continue;
+        }
+        if (const char *value =
+                flagValue(argc, argv, i, "--interleave")) {
+            std::string mode = value;
+            const std::size_t colon = mode.find(':');
+            if (colon != std::string::npos) {
+                cli.interleaveSeed = std::strtoull(
+                    mode.c_str() + colon + 1, nullptr, 10);
+                mode.resize(colon);
+            }
+            if (!parseInterleaveMode(mode.c_str(), cli.interleave)) {
+                std::fprintf(stderr,
+                             "%s: unknown interleave mode '%s' (use"
+                             " round-robin/rr or seeded/random,"
+                             " optionally :SEED)\n",
+                             argv[0], mode.c_str());
+                std::exit(2);
+            }
+            cli.forwardArgs.push_back(std::string("--interleave=") +
+                                      value);
+            continue;
+        }
         if (!std::strcmp(arg, "--journal") ||
             !std::strcmp(arg, "--threads") ||
             !std::strcmp(arg, "--shard") ||
             !std::strcmp(arg, "--workers") ||
             !std::strcmp(arg, "--pool-algo") ||
             !std::strcmp(arg, "--pool-threads") ||
-            !std::strcmp(arg, "--dram-model")) {
+            !std::strcmp(arg, "--dram-model") ||
+            !std::strcmp(arg, "--harts") ||
+            !std::strcmp(arg, "--interleave")) {
             // flagValue only fails for these when the value is gone.
             std::fprintf(stderr, "%s: missing value for '%s'\n",
                          argv[0], arg);

@@ -28,6 +28,12 @@
  *                   ddr3 (the seeded default), trr (DDR4-style
  *                   target-row-refresh), distance2 (half-double) or
  *                   ecc (single-error-correcting DIMMs)
+ *   --harts N       harts every run's machine hosts (default 1; the
+ *                   single-hart configuration replays exactly like
+ *                   builds that predate the flag)
+ *   --interleave M[:SEED]  multi-hart stream interleaving:
+ *                   round-robin (rr, the default) or seeded
+ *                   (random), optionally with the Seeded mode's seed
  *   --cold-machines disable machine snapshot sharing
  *                   (CampaignOptions::reuseMachines): every run
  *                   cold-constructs its machine; reports are
@@ -86,6 +92,12 @@ struct BenchCli
     /** DRAM flip model (--dram-model); benches copy this into every
      * RunSpec so the whole sweep runs the selected scenario. */
     FlipModelKind dramModel = FlipModelKind::Ddr3Seeded;
+
+    /** Machine topology and interleaving (--harts / --interleave);
+     * multi-hart benches copy these into every RunSpec. */
+    unsigned harts = 1;
+    InterleaveMode interleave = InterleaveMode::RoundRobin;
+    std::uint64_t interleaveSeed = 0;
 
     /** Filled by runCampaign() in --workers parent mode: one report
      * per worker, and how many died for good (each also surfaces as

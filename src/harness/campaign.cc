@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "attack/explicit_hammer.hh"
+#include "attack/multi_hammer.hh"
 #include "attack/pthammer.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -58,6 +59,7 @@ deriveRun(const RunSpec &spec)
     derived.config.defense = spec.defense;
     if (spec.dramModel != FlipModelKind::Ddr3Seeded)
         derived.config.withDramModel(spec.dramModel);
+    derived.config.harts = spec.harts;
 
     // Re-key every stochastic stream in scope from the run seed so
     // runs with different seeds decorrelate and equal seeds replay.
@@ -129,6 +131,52 @@ runImplicit(const AttackConfig &attack, Machine &machine, RunResult &res)
 }
 
 void
+runMultiHart(const RunSpec &spec, const AttackConfig &attack,
+             Machine &machine, RunResult &res)
+{
+    PThammerAttack attackRun(machine, attack);
+    attackRun.prepare();
+    res.report = attackRun.prepReport();
+
+    MultiHartHammer hammer(machine, attack, spec.interleave,
+                           spec.interleaveSeed);
+    const unsigned reserved = std::min(attack.victimHarts,
+                                       machine.hartCount() - 1);
+    const unsigned batchPairs = machine.hartCount() - reserved;
+
+    // Attempt loop, like the single-hart end-to-end attack: each
+    // attempt hammers one bank-synchronized batch of pairs — one per
+    // aggressor hart — until a flip lands or the attempt/time budget
+    // runs out.
+    const double startSeconds = machine.seconds();
+    MultiHartHammerResult r;
+    Cycles hammered = 0;
+    while (res.attempts < attack.maxAttempts &&
+           machine.seconds() - startSeconds <
+               attack.hammerBudgetSeconds) {
+        std::vector<HammerPair> pairs =
+            hammer.selectPairs(attackRun.pairs(), batchPairs);
+        if (pairs.empty())
+            break;
+        r = hammer.run(pairs, attack.hammerIterations);
+        hammered += r.totalCycles;
+        res.attempts += r.aggressors;
+        res.flips += r.flips;
+        if (r.flips > 0)
+            break;
+    }
+    res.flipped = res.flips > 0;
+    res.report.flipped = res.flipped;
+    res.report.hammerMs = machine.seconds(hammered) * 1e3;
+    res.metrics.emplace_back("aggressorHarts", r.aggressors);
+    res.metrics.emplace_back("victimHarts", r.victims);
+    res.metrics.emplace_back("meanRoundCycles", r.meanRoundCycles);
+    res.metrics.emplace_back("stackedActsPerWindow",
+                             r.stackedActsPerWindow);
+    res.metrics.emplace_back("victimMeanLatency", r.victimMeanLatency);
+}
+
+void
 runPthammer(const AttackConfig &attack, Machine &machine, RunResult &res)
 {
     PThammerAttack attackRun(machine, attack);
@@ -172,6 +220,7 @@ hammerStrategyName(HammerStrategy strategy)
     case HammerStrategy::Explicit: return "explicit";
     case HammerStrategy::Implicit: return "implicit";
     case HammerStrategy::PThammer: return "pthammer";
+    case HammerStrategy::MultiHart: return "multihart";
     }
     return "unknown";
 }
@@ -281,6 +330,9 @@ Campaign::runOne(const RunSpec &spec, std::size_t index,
                 break;
             case HammerStrategy::PThammer:
                 runPthammer(attack, machine, res);
+                break;
+            case HammerStrategy::MultiHart:
+                runMultiHart(spec, attack, machine, res);
                 break;
             }
         }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "attack/attack_config.hh"
+#include "cpu/interleaver.hh"
 #include "cpu/machine_config.hh"
 #include "harness/campaign_result.hh"
 
@@ -62,6 +63,7 @@ enum class HammerStrategy
     Explicit,   //!< clflush-based double-sided baseline (Section II)
     Implicit,   //!< prepare + one implicit-hammer run on the first pair
     PThammer,   //!< the full end-to-end attack (prepare + run)
+    MultiHart,  //!< prepare + interleaved hammering from every hart
 };
 
 /** Human-readable preset name (matches MachineConfig::name). */
@@ -120,6 +122,21 @@ struct RunSpec
      * before attack-scoped sweeps existed stay valid.
      */
     SeedScope seedScope = SeedScope::AllStreams;
+
+    /**
+     * Harts the run's machine hosts (MachineConfig::harts). Folded
+     * into the journal spec key only when non-default, so single-hart
+     * journals written before multi-hart runs existed stay valid.
+     */
+    unsigned harts = 1;
+
+    /**
+     * How the multi-hart strategy merges the per-hart streams into
+     * the global clock order, and the seed of the Seeded mode. Both
+     * spec-key folded only when non-default, like harts.
+     */
+    InterleaveMode interleave = InterleaveMode::RoundRobin;
+    std::uint64_t interleaveSeed = 0;
 
     AttackConfig attack;               //!< attacker-side knobs
 

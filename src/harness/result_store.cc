@@ -156,6 +156,15 @@ specKey(const RunSpec &spec)
     if (spec.dramModel != FlipModelKind::Ddr3Seeded)
         h = hashCombine(h, 0xd7a11,
                         static_cast<std::uint64_t>(spec.dramModel));
+    // Multi-hart fields, keyed only when non-default for the same
+    // reason: single-hart journals predate them.
+    if (spec.harts != 1)
+        h = hashCombine(h, 0x4a2475, spec.harts);
+    if (spec.interleave != InterleaveMode::RoundRobin ||
+        spec.interleaveSeed != 0)
+        h = hashCombine(h, 0x17e8e4,
+                        static_cast<std::uint64_t>(spec.interleave),
+                        spec.interleaveSeed);
 
     const AttackConfig &a = spec.attack;
     h = hashCombine(h, a.superpages, a.sprayBytes, a.userSharedFrames);
@@ -181,6 +190,15 @@ specKey(const RunSpec &spec)
     // --pool-threads change.
     h = hashCombine(h,
                     static_cast<std::uint64_t>(a.poolBuild.algorithm));
+    // Victim-traffic knobs only matter to the multi-hart strategy;
+    // each keyed only when non-default so pre-existing journals keep
+    // their keys.
+    if (a.victimHarts != 0)
+        h = hashCombine(h, 0x71c711, a.victimHarts);
+    if (a.victimTrafficPages != 64)
+        h = hashCombine(h, 0x71c712, a.victimTrafficPages);
+    if (a.victimAccessesPerSlot != 8)
+        h = hashCombine(h, 0x71c713, a.victimAccessesPerSlot);
     // Keyed only when non-default, like dramModel: attack-scoped
     // seeding changes what a nonzero seed means for the run.
     if (spec.seedScope != SeedScope::AllStreams)

@@ -9,8 +9,9 @@ namespace pth
 {
 
 Mmu::Mmu(const TlbConfig &tlbConfig, const PscConfig &pscConfig,
-         PhysicalMemory &memory, CacheHierarchy &caches)
-    : tlbs(tlbConfig), pscs(pscConfig), ptWalker(memory, caches, pscs)
+         PhysicalMemory &memory, CacheHierarchy &caches, unsigned hart)
+    : tlbs(tlbConfig), pscs(pscConfig),
+      ptWalker(memory, caches, pscs, hart)
 {
 }
 

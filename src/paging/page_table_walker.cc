@@ -9,8 +9,9 @@ namespace pth
 
 PageTableWalker::PageTableWalker(PhysicalMemory &memory,
                                  CacheHierarchy &caches_,
-                                 PagingStructureCaches &pscs)
-    : mem(memory), caches(caches_), psc(pscs)
+                                 PagingStructureCaches &pscs,
+                                 unsigned hart)
+    : mem(memory), caches(caches_), psc(pscs), hartIndex(hart)
 {
 }
 
@@ -18,7 +19,8 @@ PageTableWalker::PageTableWalker(const PageTableWalker &other,
                                  PhysicalMemory &memory,
                                  CacheHierarchy &caches_,
                                  PagingStructureCaches &pscs)
-    : mem(memory), caches(caches_), psc(pscs), nWalks(other.nWalks),
+    : mem(memory), caches(caches_), psc(pscs),
+      hartIndex(other.hartIndex), nWalks(other.nWalks),
       nPdeStarts(other.nPdeStarts)
 {
 }
@@ -51,7 +53,8 @@ PageTableWalker::walk(PhysFrame root, VirtAddr va, Cycles now)
         PtLevel lv = static_cast<PtLevel>(level);
         PhysAddr entryAddr =
             (table << kPageShift) + pteIndex(va, lv) * kPteBytes;
-        MemAccessResult fetch = caches.access(entryAddr, now + result.latency);
+        MemAccessResult fetch =
+            caches.access(entryAddr, now + result.latency, hartIndex);
         result.latency += fetch.latency;
         ++result.fetches;
 

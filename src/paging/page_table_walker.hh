@@ -40,11 +40,15 @@ struct WalkResult
 class PageTableWalker
 {
   public:
+    /** @param hart Hart whose private L1 the walker's PTE fetches go
+     * through (page-table entries are cacheable data on the fetching
+     * core). */
     PageTableWalker(PhysicalMemory &memory, CacheHierarchy &caches,
-                    PagingStructureCaches &pscs);
+                    PagingStructureCaches &pscs, unsigned hart = 0);
 
-    /** Copy the walk counters but rewire the structure references to
-     * the new machine's copies (Machine snapshot/fork support). */
+    /** Copy the walk counters (and hart binding) but rewire the
+     * structure references to the new machine's copies (Machine
+     * snapshot/fork support). */
     PageTableWalker(const PageTableWalker &other, PhysicalMemory &memory,
                     CacheHierarchy &caches, PagingStructureCaches &pscs);
 
@@ -65,6 +69,7 @@ class PageTableWalker
     PhysicalMemory &mem;
     CacheHierarchy &caches;
     PagingStructureCaches &psc;
+    unsigned hartIndex;
     std::uint64_t nWalks = 0;
     std::uint64_t nPdeStarts = 0;
 };

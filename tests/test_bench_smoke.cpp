@@ -316,5 +316,29 @@ TEST(BenchSmoke, MachineSetupPath)
               Campaign::toJson(campaign.run(cold)));
 }
 
+/**
+ * bench_multicore_hammer: the multi-hart strategy runs end to end at
+ * tiny scale — bank-synchronized pair selection, interleaved detailed
+ * phase, analytic bulk — and a victim hart records its latency.
+ */
+TEST(BenchSmoke, MulticoreHammerPath)
+{
+    RunSpec spec;
+    spec.label = "multihart";
+    spec.preset = MachinePreset::TestSmall;
+    spec.strategy = HammerStrategy::MultiHart;
+    spec.harts = 2;
+    spec.attack = tinyAttack();
+    spec.attack.victimHarts = 1;
+    RunResult res = Campaign::runOne(spec, 0);
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.metrics.size(), 5u);
+    EXPECT_EQ(res.metrics[0].first, "aggressorHarts");
+    EXPECT_EQ(res.metrics[0].second, 1.0);
+    EXPECT_EQ(res.metrics[1].second, 1.0);  // victimHarts
+    EXPECT_GT(res.metrics[4].second, 0.0);  // victimMeanLatency
+    EXPECT_GT(res.attempts, 0u);
+}
+
 } // namespace
 } // namespace pth

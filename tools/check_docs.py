@@ -10,6 +10,10 @@
    (scripts, configs, suppression file) plus .clang-tidy must be
    mentioned in docs/STATIC_ANALYSIS.md, so the analysis reference
    cannot silently fall behind the lint layer.
+4. Bench-flag coverage: every flag the shared bench CLI parses
+   (extracted from src/harness/bench_cli.cc) must be documented in
+   docs/CAMPAIGN.md's flag table, so a new flag cannot ship
+   undocumented.
 
 Exits nonzero (with a line per problem) when anything fails.
 """
@@ -126,9 +130,36 @@ def check_static_analysis_doc() -> list:
     return problems
 
 
+def bench_cli_flags() -> list:
+    """Every --flag the shared bench CLI understands, parsed from the
+    flagValue() calls and strcmp literals in bench_cli.cc."""
+    source = (ROOT / "src" / "harness" / "bench_cli.cc").read_text()
+    flags = set(re.findall(r'flagValue\(argc, argv, i,\s*"(--[\w-]+)"', source))
+    flags |= set(re.findall(r'strcmp\(arg, "(--[\w-]+)"\)', source))
+    flags.discard("--help")  # documented by every bench's own usage
+    flags.discard("-h")
+    return sorted(flags)
+
+
+def check_campaign_flag_table() -> list:
+    doc_path = ROOT / "docs" / "CAMPAIGN.md"
+    if not doc_path.exists():
+        return ["docs/CAMPAIGN.md is missing"]
+    doc = doc_path.read_text(encoding="utf-8")
+    problems = []
+    for flag in bench_cli_flags():
+        if f"`{flag}" not in doc:
+            problems.append(
+                f"docs/CAMPAIGN.md: bench CLI flag '{flag}' is not"
+                " documented in the flag table"
+            )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_links() + check_readme_table() + check_static_analysis_doc()
+        + check_campaign_flag_table()
     )
     for problem in problems:
         print(problem)
